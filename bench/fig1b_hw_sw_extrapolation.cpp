@@ -1,0 +1,63 @@
+// Figure 1(b): theoretical improvement in unavailability when additional
+// hardware (HW) and/or software (SW) are added to the COOP version —
+// analytic extrapolations from the measured COOP templates, exactly as in
+// the paper (only the COOP bar is measured).
+//
+// HW    = RAID on every node + backup switch + redundant front-end pair
+//         + one spare node behind the front-end.
+// SW    = membership + queue monitoring + FME on plain COOP.
+// SW+HW = both.
+
+#include <cstdio>
+
+#include "availsim/harness/model_cache.hpp"
+#include "availsim/harness/report.hpp"
+#include "availsim/model/hardware.hpp"
+#include "availsim/model/predictions.hpp"
+
+using namespace availsim;
+
+int main() {
+  const std::string cache = harness::default_cache_dir();
+  harness::TestbedOptions opts =
+      harness::default_testbed_options(harness::ServerConfig::kCoop);
+  model::SystemModel coop = harness::characterize_cached(opts, cache);
+
+  // HW: front-end + spare (masking node-down faults only) + RAID + backup
+  // switch + redundant FE.
+  model::SystemModel hw =
+      model::predict_fex_from_coop(coop, 6 * 30 * 86400.0, 180.0);
+  model::apply_raid(hw);
+  model::apply_backup_switch(hw);
+  model::apply_redundant_frontend(hw);
+
+  // SW: all software techniques on plain COOP.
+  model::SystemModel sw = model::predict_sw_only(coop);
+
+  // SW+HW.
+  model::SystemModel both =
+      model::predict_fme(model::predict_fex_from_coop(
+          coop, 6 * 30 * 86400.0, 180.0));
+  model::apply_raid(both);
+  model::apply_backup_switch(both);
+  model::apply_redundant_frontend(both);
+
+  std::printf("Figure 1(b): theoretical unavailability improvements on COOP\n\n");
+  std::printf("%-8s %14s %14s   %s\n", "version", "unavailability",
+              "availability", "bar");
+  const double scale = coop.unavailability();
+  for (const auto& [name, m] :
+       {std::pair<const char*, const model::SystemModel*>{"COOP", &coop},
+        {"HW", &hw},
+        {"SW", &sw},
+        {"SW+HW", &both}}) {
+    std::printf("%-8s %14s %14s   |%s|\n", name,
+                harness::format_unavailability(m->unavailability()).c_str(),
+                harness::format_availability_percent(m->availability()).c_str(),
+                harness::ascii_bar(m->unavailability(), scale).c_str());
+  }
+  std::printf(
+      "\nShape check: HW alone barely helps (fault propagation untouched); "
+      "SW recovers most of it;\nSW+HW approaches the four-nines class.\n");
+  return 0;
+}

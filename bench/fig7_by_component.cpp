@@ -1,0 +1,92 @@
+// Figure 7: unavailability by fault class for COOP, FE-X, MEM, Q-MON, MQ
+// and FME. For each HA configuration two rows are printed, matching the
+// paper's paired bars: "modeled" (analytic extrapolation from the COOP
+// measurements, computed before implementing the technique) and
+// "measured" (fault injection into the fully implemented system).
+
+#include <cstdio>
+#include <iostream>
+
+#include "availsim/harness/export.hpp"
+#include "availsim/harness/model_cache.hpp"
+#include "availsim/harness/report.hpp"
+#include "availsim/model/hardware.hpp"
+#include "availsim/model/predictions.hpp"
+
+using namespace availsim;
+
+int main() {
+  const std::string cache = harness::default_cache_dir();
+  auto measured = [&](harness::ServerConfig config) {
+    return harness::characterize_cached(
+        harness::default_testbed_options(config), cache);
+  };
+
+  model::SystemModel coop = measured(harness::ServerConfig::kCoop);
+  model::SystemModel fex_pred =
+      model::predict_fex_from_coop(coop, 6 * 30 * 86400.0, 180.0);
+
+  std::printf(
+      "Figure 7: unavailability by component (modeled-from-COOP vs "
+      "measured)\n\n");
+  harness::print_breakdown_header(std::cout);
+  harness::print_breakdown(std::cout, "COOP", coop);
+
+  struct Entry {
+    const char* name;
+    harness::ServerConfig config;
+    model::SystemModel predicted;
+  };
+  Entry entries[] = {
+      {"FE-X", harness::ServerConfig::kFeX, fex_pred},
+      {"MEM", harness::ServerConfig::kMem, model::predict_mem(fex_pred)},
+      {"Q-MON", harness::ServerConfig::kQmon, model::predict_qmon(fex_pred)},
+      {"MQ", harness::ServerConfig::kMq, model::predict_mq(fex_pred)},
+      {"FME", harness::ServerConfig::kFme, model::predict_fme(fex_pred)},
+  };
+
+  double mq_measured = 0, fme_measured = 0;
+  std::vector<std::pair<std::string, model::SystemModel>> rows;
+  rows.emplace_back("COOP", coop);
+  for (auto& e : entries) {
+    harness::print_breakdown(std::cout, std::string(e.name) + "/model",
+                             e.predicted);
+    rows.emplace_back(std::string(e.name) + "/model", e.predicted);
+    model::SystemModel m = measured(e.config);
+    harness::print_breakdown(std::cout, std::string(e.name) + "/meas", m);
+    rows.emplace_back(std::string(e.name) + "/meas", m);
+    if (e.config == harness::ServerConfig::kMq) mq_measured = m.unavailability();
+    if (e.config == harness::ServerConfig::kFme) {
+      fme_measured = m.unavailability();
+    }
+  }
+  const std::string csv = cache + "/fig7.csv";
+  if (harness::export_breakdown_csv(rows, csv)) {
+    std::printf("\n(plot-ready data written to %s)\n", csv.c_str());
+  }
+
+  std::printf("\nMQ reduction vs COOP:  %.0f%% (paper: ~87%%)\n",
+              100.0 * (1 - mq_measured / coop.unavailability()));
+  std::printf("FME reduction vs COOP: %.0f%% (paper: ~94%%)\n",
+              100.0 * (1 - fme_measured / coop.unavailability()));
+
+  // The same comparison under a slower (30-minute) operator — the
+  // methodology treats the operator response as a supplied environmental
+  // value, and it multiplies COOP's splinter-class losses while the
+  // self-healing configurations barely move.
+  model::SystemModel coop_slow = coop;
+  model::apply_operator_response(coop_slow, 1800);
+  model::SystemModel mq_slow = measured(harness::ServerConfig::kMq);
+  model::apply_operator_response(mq_slow, 1800);
+  model::SystemModel fme_slow = measured(harness::ServerConfig::kFme);
+  model::apply_operator_response(fme_slow, 1800);
+  std::printf("\nWith a 30-minute operator response (COOP at %s):\n",
+              harness::format_unavailability(coop_slow.unavailability())
+                  .c_str());
+  std::printf("  MQ reduction:  %.0f%%   FME reduction: %.0f%%\n",
+              100.0 * (1 - mq_slow.unavailability() /
+                               coop_slow.unavailability()),
+              100.0 * (1 - fme_slow.unavailability() /
+                               coop_slow.unavailability()));
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 9: scaling the FME version.
+//  (a) 8 nodes: §6.3 scaled-model extrapolation from the 4-node
+//      measurements vs direct measurement on an 8-node cluster, with
+//      per-node memory either kept at the 4-node total (64 MB/node) or
+//      scaled linearly (128 MB/node).
+//  (b) scaled-model results for 8 and 16 nodes: FME unavailability stays
+//      roughly flat as the cluster grows (contrast Figure 10's COOP).
+
+#include <cstdio>
+#include <iostream>
+
+#include "availsim/harness/model_cache.hpp"
+#include "availsim/harness/report.hpp"
+#include "availsim/model/scaling.hpp"
+
+using namespace availsim;
+
+namespace {
+
+harness::TestbedOptions eight_node_options(std::size_t cache_bytes) {
+  harness::TestbedOptions opts =
+      harness::default_testbed_options(harness::ServerConfig::kFme);
+  opts.base_nodes = 8;
+  opts.offered_rps *= 2;  // linear-throughput assumption of §6.3
+  opts.press.cache_bytes = cache_bytes;
+  return opts;
+}
+
+}  // namespace
+
+int main() {
+  const std::string cache = harness::default_cache_dir();
+  model::SystemModel fme4 = harness::characterize_cached(
+      harness::default_testbed_options(harness::ServerConfig::kFme), cache);
+  model::SystemModel scaled8 = model::scale_cluster(fme4, 4, 8);
+  model::SystemModel scaled16 = model::scale_cluster(fme4, 4, 16);
+
+  std::printf("Figure 9(a): FME at 8 nodes — scaled model vs measured\n\n");
+  harness::print_breakdown_header(std::cout);
+  harness::print_breakdown(std::cout, "scaled-8", scaled8);
+
+  harness::TestbedOptions meas64 = eight_node_options(64ull << 20);
+  meas64.seed = 21;
+  model::SystemModel fme8_64 = harness::characterize_cached(meas64, cache);
+  harness::print_breakdown(std::cout, "FME-64MB-8", fme8_64);
+
+  harness::TestbedOptions meas128 = eight_node_options(128ull << 20);
+  meas128.seed = 22;
+  model::SystemModel fme8_128 = harness::characterize_cached(meas128, cache);
+  harness::print_breakdown(std::cout, "FME-128MB-8", fme8_128);
+
+  std::printf("\nFigure 9(b): scaled model, 8 and 16 nodes\n\n");
+  harness::print_breakdown_header(std::cout);
+  harness::print_breakdown(std::cout, "FME-4", fme4);
+  harness::print_breakdown(std::cout, "FME-8", scaled8);
+  harness::print_breakdown(std::cout, "FME-16", scaled16);
+
+  std::printf("\nFME unavailability at 8/16 nodes vs 4: %.2fx / %.2fx "
+              "(paper: roughly constant)\n",
+              scaled8.unavailability() / fme4.unavailability(),
+              scaled16.unavailability() / fme4.unavailability());
+  std::printf("Scaled-model vs measured (128MB, 8 nodes): %.2fx "
+              "(paper: within ~25%%)\n",
+              fme8_128.unavailability() > 0
+                  ? scaled8.unavailability() / fme8_128.unavailability()
+                  : 0.0);
+  return 0;
+}

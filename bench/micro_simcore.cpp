@@ -1,0 +1,114 @@
+// Microbenchmarks of the simulation substrate's hot paths (google-
+// benchmark): event scheduling, RNG, Zipf sampling, LRU cache operations,
+// directory lookups, and network delivery. These bound how much simulated
+// traffic the availability experiments can afford.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "availsim/net/network.hpp"
+#include "availsim/press/cache.hpp"
+#include "availsim/press/directory.hpp"
+#include "availsim/sim/rng.hpp"
+#include "availsim/sim/simulator.hpp"
+#include "availsim/workload/zipf.hpp"
+
+using namespace availsim;
+
+static void BM_EventScheduleAndRun(benchmark::State& state) {
+  sim::Simulator simulator;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      simulator.schedule_after(i, [&sink] { ++sink; });
+    }
+    simulator.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventScheduleAndRun);
+
+static void BM_RngNextU64(benchmark::State& state) {
+  sim::Rng rng(1);
+  std::uint64_t sink = 0;
+  for (auto _ : state) sink ^= rng.next_u64();
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNextU64);
+
+static void BM_RngExponential(benchmark::State& state) {
+  sim::Rng rng(1);
+  double sink = 0;
+  for (auto _ : state) sink += rng.exponential(1.0);
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngExponential);
+
+static void BM_ZipfSample(benchmark::State& state) {
+  workload::ZipfSampler zipf(static_cast<int>(state.range(0)), 0.7);
+  sim::Rng rng(2);
+  std::int64_t sink = 0;
+  for (auto _ : state) sink += zipf.sample(rng);
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(26000)->Arg(100000);
+
+static void BM_LruCacheTouchInsert(benchmark::State& state) {
+  press::LruCache cache(4860 * 100, 100);
+  workload::ZipfSampler zipf(26000, 0.7);
+  sim::Rng rng(3);
+  for (auto _ : state) {
+    const auto f = zipf.sample(rng);
+    if (!cache.touch(f)) benchmark::DoNotOptimize(cache.insert(f));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruCacheTouchInsert);
+
+static void BM_DirectoryLookup(benchmark::State& state) {
+  press::Directory dir;
+  sim::Rng rng(4);
+  for (int n = 0; n < 4; ++n) {
+    for (int i = 0; i < 5000; ++i) {
+      dir.node_caches(n, static_cast<workload::FileId>(rng.uniform_int(0, 25999)));
+    }
+    dir.set_load(n, n);
+  }
+  std::unordered_set<net::NodeId> coop{0, 1, 2, 3};
+  workload::ZipfSampler zipf(26000, 0.7);
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    auto best = dir.best_service_node(zipf.sample(rng), coop);
+    sink += best ? *best : -1;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectoryLookup);
+
+static void BM_NetworkSendDeliver(benchmark::State& state) {
+  sim::Simulator simulator;
+  net::NetworkParams params;
+  params.max_jitter = 0;
+  net::Network network(simulator, sim::Rng(5), params);
+  net::Host a(simulator, 0, "a"), b(simulator, 1, "b");
+  network.attach(a);
+  network.attach(b);
+  std::uint64_t sink = 0;
+  b.bind(100, [&sink](const net::Packet&) { ++sink; });
+  auto body = net::make_body<int>(7);
+  for (auto _ : state) {
+    network.send(0, 1, 100, 256, body);
+    simulator.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkSendDeliver);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Failover drill: drive the fully hardened FME configuration through a
+// gauntlet of faults — disk wedge, application hang, node freeze, link
+// outage, node crash — and watch each one get detected, enforced into the
+// fault model, masked by the front-end, and healed without an operator.
+//
+// Usage: failover_drill [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "availsim/fault/injector.hpp"
+#include "availsim/harness/experiment.hpp"
+#include "availsim/harness/testbed.hpp"
+
+using namespace availsim;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  harness::TestbedOptions opts =
+      harness::default_testbed_options(harness::ServerConfig::kFme, seed);
+  opts.warmup = 180 * sim::kSecond;
+
+  sim::Simulator simulator;
+  harness::Testbed tb(simulator, opts);
+  fault::FaultInjector injector(simulator, tb, sim::Rng(seed));
+  injector.on_event = [&tb](const fault::FaultInjector::Event& ev) {
+    tb.note(std::string(ev.is_repair ? "REPAIR " : "FAULT ") +
+                fault::to_string(ev.type),
+            ev.component);
+  };
+
+  struct Step {
+    fault::FaultType type;
+    int component;
+    sim::Time duration;
+  };
+  const Step gauntlet[] = {
+      {fault::FaultType::kScsiTimeout, 2, 120 * sim::kSecond},
+      {fault::FaultType::kAppHang, 3, 90 * sim::kSecond},
+      {fault::FaultType::kNodeFreeze, 2, 90 * sim::kSecond},
+      {fault::FaultType::kLinkDown, 4, 60 * sim::kSecond},
+      {fault::FaultType::kNodeCrash, 1, 120 * sim::kSecond},
+  };
+
+  tb.start();
+  sim::Time t = opts.warmup;
+  for (const auto& step : gauntlet) {
+    injector.schedule_fault(t, step.type, step.component, step.duration);
+    t += step.duration + 180 * sim::kSecond;  // settle between drills
+  }
+  const sim::Time t_end = t + 120 * sim::kSecond;
+  simulator.run_until(t_end);
+
+  std::printf("== failover drill (FME configuration, seed %llu) ==\n\n",
+              static_cast<unsigned long long>(seed));
+  for (const auto& ev : tb.log()) {
+    if (ev.at < opts.warmup - 10 * sim::kSecond) continue;
+    if (ev.what == "blocked" || ev.what == "unblocked") continue;
+    std::printf("t=%7.1fs  %-28s node=%d\n", sim::to_seconds(ev.at),
+                ev.what.c_str(), ev.node);
+  }
+
+  const double avail = tb.recorder().availability(opts.warmup, t_end);
+  std::printf("\nAvailability across the gauntlet: %.4f%%\n", 100 * avail);
+  std::printf("Operator resets needed: %d (the whole point of FME: zero)\n",
+              [&] {
+                int n = 0;
+                for (const auto& ev : tb.log()) n += ev.what == "operator_reset";
+                return n;
+              }());
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Sweeps offered load against delivered goodput for the cooperative and
+// independent server versions, locating each version's saturation point
+// (the knee where goodput stops tracking offered load). The paper drives
+// every experiment at 90% of the 4-node COOP saturation.
+//
+// Usage: saturation_probe [lo hi step]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "availsim/harness/experiment.hpp"
+
+using namespace availsim;
+
+namespace {
+
+double probe(harness::ServerConfig config, double rps) {
+  harness::TestbedOptions opts = harness::default_testbed_options(config);
+  opts.offered_rps = rps;
+  opts.warmup = 180 * sim::kSecond;
+  return harness::measure_fault_free_throughput(opts, 45 * sim::kSecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double lo = 400, hi = 3200, step = 400;
+  if (argc > 3) {
+    lo = std::atof(argv[1]);
+    hi = std::atof(argv[2]);
+    step = std::atof(argv[3]);
+  }
+  std::printf("%10s %12s %12s %8s\n", "offered", "COOP", "INDEP", "ratio");
+  for (double rps = lo; rps <= hi; rps += step) {
+    const double coop = probe(harness::ServerConfig::kCoop, rps);
+    const double indep = probe(harness::ServerConfig::kIndep, rps);
+    std::printf("%10.0f %12.1f %12.1f %8.2f\n", rps, coop, indep,
+                indep > 0 ? coop / indep : 0.0);
+    std::fflush(stdout);
+  }
+  return 0;
+}

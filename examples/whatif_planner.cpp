@@ -1,0 +1,113 @@
+// What-if availability planner: demonstrates the Phase-2 analytic model
+// API on its own. Starting from a representative 4-node COOP
+// characterization (stage templates like those measured by the harness),
+// it walks through the paper's menu of improvements — hardware redundancy,
+// software techniques, cluster scaling — and prints the availability class
+// each combination reaches.
+
+#include <cstdio>
+
+#include "availsim/fault/fault.hpp"
+#include "availsim/harness/report.hpp"
+#include "availsim/model/hardware.hpp"
+#include "availsim/model/predictions.hpp"
+#include "availsim/model/scaling.hpp"
+
+using namespace availsim;
+using fault::FaultType;
+using model::Stage;
+
+namespace {
+
+/// Builds a representative measured-COOP model: numbers of the shape the
+/// harness produces (see bench/fig7_by_component for the real thing).
+model::SystemModel representative_coop(double t0) {
+  std::vector<model::FaultTemplate> faults;
+  auto add = [&](FaultType type, double mttf_days, double mttr_s, int n,
+                 double t_a, double f_a, double f_c, double t_e, double f_e) {
+    model::FaultTemplate f;
+    f.type = type;
+    f.mttf_seconds = mttf_days * 86400.0;
+    f.mttr_seconds = mttr_s;
+    f.components = n;
+    f.stages.t(Stage::kA) = t_a;
+    f.stages.tput(Stage::kA) = f_a * t0;
+    f.stages.t(Stage::kB) = 30;
+    f.stages.tput(Stage::kB) = f_c * t0;
+    f.stages.t(Stage::kC) = std::max(0.0, mttr_s - t_a - 30);
+    f.stages.tput(Stage::kC) = f_c * t0;
+    f.stages.t(Stage::kD) = 30;
+    f.stages.tput(Stage::kD) = f_c * t0;
+    f.stages.t(Stage::kE) = t_e;
+    f.stages.tput(Stage::kE) = f_e * t0;
+    if (t_e > 0) {
+      f.stages.t(Stage::kF) = 15;
+      f.stages.tput(Stage::kF) = 0;
+      f.stages.t(Stage::kG) = 120;
+      f.stages.tput(Stage::kG) = 0.8 * t0;
+    }
+    faults.push_back(f);
+  };
+  //   type                 mttf   mttr    n   tA   fA    fC   tE    fE
+  add(FaultType::kLinkDown, 180, 180, 4, 18, 0.10, 0.75, 240, 0.85);
+  add(FaultType::kSwitchDown, 365, 3600, 1, 45, 0.05, 0.33, 240, 0.33);
+  add(FaultType::kScsiTimeout, 365, 3600, 8, 20, 0.15, 0.75, 240, 0.90);
+  add(FaultType::kNodeCrash, 14, 180, 4, 17, 0.10, 0.75, 0, 1.0);
+  add(FaultType::kNodeFreeze, 14, 180, 4, 17, 0.10, 0.75, 240, 0.85);
+  add(FaultType::kAppCrash, 60, 180, 4, 2, 0.75, 0.75, 0, 1.0);
+  add(FaultType::kAppHang, 60, 180, 4, 17, 0.10, 0.75, 240, 0.85);
+  return model::SystemModel(t0, std::move(faults));
+}
+
+void row(const char* name, const model::SystemModel& m) {
+  const double u = m.unavailability();
+  const char* klass = u < 1e-4   ? "four nines+"
+                      : u < 1e-3 ? "three nines"
+                      : u < 1e-2 ? "two nines"
+                                 : "< two nines";
+  std::printf("%-26s %12s %12s  %s\n", name,
+              harness::format_unavailability(u).c_str(),
+              harness::format_availability_percent(m.availability()).c_str(),
+              klass);
+}
+
+}  // namespace
+
+int main() {
+  const model::SystemModel coop = representative_coop(2000.0);
+
+  std::printf("What-if availability planning for a 4-node cooperative "
+              "server\n\n");
+  std::printf("%-26s %12s %12s  %s\n", "plan", "unavail", "avail", "class");
+  row("baseline COOP", coop);
+
+  model::SystemModel raid = coop;
+  model::apply_raid(raid);
+  row("+ RAID everywhere", raid);
+
+  model::SystemModel sw = model::predict_sw_only(coop);
+  row("+ software HA (M+Q+FME)", sw);
+
+  model::SystemModel fex =
+      model::predict_fex_from_coop(coop, 180 * 86400.0, 180.0);
+  model::SystemModel full = model::predict_fme(fex);
+  row("+ FE/spare + software", full);
+
+  model::SystemModel hw_too = full;
+  model::apply_backup_switch(hw_too);
+  model::apply_redundant_frontend(hw_too);
+  row("+ backup switch, dual FE", hw_too);
+
+  std::printf("\nScaling the hardened system (paper Fig. 9):\n");
+  row("  8 nodes", model::scale_cluster(hw_too, 4, 8));
+  row("  16 nodes", model::scale_cluster(hw_too, 4, 16));
+  std::printf("\nScaling the *unhardened* system (paper Fig. 10):\n");
+  row("  8 nodes", model::scale_cluster(coop, 4, 8));
+  row("  16 nodes", model::scale_cluster(coop, 4, 16));
+
+  std::printf(
+      "\nTakeaway (paper §6.4): no single technique suffices; the "
+      "combination reaches\nfour nines, and it scales where bare "
+      "cooperation does not.\n");
+  return 0;
+}

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Final capture: full test suite + every bench, teed to the result files.
+set -x
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt | tail -4
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "=== $b ==="
+    "$b"
+  fi
+done 2>&1 | tee /root/repo/bench_output.txt | tail -3

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "availsim/sim/simulator.hpp"
+#include "availsim/sim/time.hpp"
+
+namespace availsim::disk {
+
+struct DiskParams {
+  /// Average positioning time (seek + rotational latency) per operation.
+  sim::Time seek = 22 * sim::kMillisecond;
+  /// Sustained transfer bandwidth, bytes per second.
+  double bandwidth_bps = 30e6;
+  /// Maximum outstanding operations. A full queue back-pressures the
+  /// server: PRESS's coordinating thread blocks when it cannot enqueue a
+  /// disk op, which is exactly the wedge that makes SCSI faults so
+  /// damaging in the paper.
+  std::size_t queue_capacity = 128;
+};
+
+/// A single queued disk with a SCSI-timeout fault mode.
+///
+/// In the fault mode, the in-flight operation and everything queued behind
+/// it hang (no completion and no error, as observed with real SCSI
+/// timeouts). When the hardware is repaired, the backlog drains and
+/// completions fire; whether the *server* recovers at that point depends on
+/// its membership state, not on the disk.
+class Disk {
+ public:
+  enum class State { kOk, kTimeoutFault };
+
+  using Completion = std::function<void()>;
+
+  Disk(sim::Simulator& simulator, DiskParams params);
+
+  /// Enqueues a read/write of `bytes`. Returns false when the queue is
+  /// full (the caller must block or shed load). `done` fires when the
+  /// operation completes; it never fires while the disk is faulty.
+  bool submit(std::size_t bytes, Completion done);
+
+  std::size_t queue_depth() const { return queue_.size() + (busy_ ? 1u : 0u); }
+  bool queue_full() const { return queue_depth() >= params_.queue_capacity; }
+  State state() const { return state_; }
+
+  /// Expected service time for one operation of `bytes` (for capacity
+  /// planning in tests/benches).
+  sim::Time service_time(std::size_t bytes) const;
+
+  /// SCSI timeout fault: the disk stops completing operations.
+  void fail_timeout();
+
+  /// Hardware repaired/replaced: backlog drains normally from here on.
+  void repair();
+
+  /// Drops all queued and in-flight operations without completing them
+  /// (used when the owning process is killed/restarted).
+  void purge();
+
+  std::uint64_t ops_completed() const { return completed_; }
+
+ private:
+  struct Op {
+    std::size_t bytes;
+    Completion done;
+  };
+
+  void start_next();
+
+  sim::Simulator& sim_;
+  DiskParams params_;
+  State state_ = State::kOk;
+  bool busy_ = false;
+  sim::EventId inflight_event_ = sim::kInvalidEvent;
+  Op inflight_{};
+  std::deque<Op> queue_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace availsim::disk

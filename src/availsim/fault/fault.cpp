@@ -1,0 +1,34 @@
+#include "availsim/fault/fault.hpp"
+
+namespace availsim::fault {
+
+const char* to_string(FaultType type) {
+  switch (type) {
+    case FaultType::kLinkDown: return "internal link";
+    case FaultType::kSwitchDown: return "internal switch";
+    case FaultType::kScsiTimeout: return "scsi timeout";
+    case FaultType::kNodeCrash: return "node crash";
+    case FaultType::kNodeFreeze: return "node freeze";
+    case FaultType::kAppCrash: return "application crash";
+    case FaultType::kAppHang: return "application hang";
+    case FaultType::kFrontendFailure: return "frontend failure";
+  }
+  return "unknown";
+}
+
+std::vector<FaultType> all_fault_types() {
+  return {FaultType::kLinkDown,  FaultType::kSwitchDown,
+          FaultType::kScsiTimeout, FaultType::kNodeCrash,
+          FaultType::kNodeFreeze,  FaultType::kAppCrash,
+          FaultType::kAppHang,     FaultType::kFrontendFailure};
+}
+
+const FaultSpec* find_spec(const std::vector<FaultSpec>& specs,
+                           FaultType type) {
+  for (const auto& s : specs) {
+    if (s.type == type) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace availsim::fault

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "availsim/sim/time.hpp"
+
+namespace availsim::fault {
+
+/// The paper's fault taxonomy (Table 1). "Internal" link/switch faults hit
+/// the intra-cluster fabric only; client traffic is never disturbed by
+/// them (the Mendosus property).
+enum class FaultType {
+  kLinkDown,
+  kSwitchDown,
+  kScsiTimeout,
+  kNodeCrash,
+  kNodeFreeze,
+  kAppCrash,
+  kAppHang,
+  kFrontendFailure,
+};
+
+inline constexpr int kFaultTypeCount = 8;
+
+const char* to_string(FaultType type);
+std::vector<FaultType> all_fault_types();
+
+/// One row of Table 1: a component class with its failure/repair behaviour.
+struct FaultSpec {
+  FaultType type;
+  double mttf_seconds = 0;
+  double mttr_seconds = 0;
+  int component_count = 0;
+};
+
+/// Builds the paper's Table 1 for a cluster of `nodes` back-end nodes.
+/// MTTFs: link 6 months, switch 1 year, SCSI 1 year (per disk), node crash
+/// and node freeze 2 weeks, application crash and hang 2 months each
+/// (jointly 1 month per process), front-end 6 months.
+/// MTTRs: 3 minutes except switch and SCSI (1 hour).
+std::vector<FaultSpec> table1_fault_load(int nodes, int disks_per_node = 2,
+                                         bool has_frontend = true);
+
+/// Looks up a row by fault type; returns nullptr when absent.
+const FaultSpec* find_spec(const std::vector<FaultSpec>& specs, FaultType type);
+
+}  // namespace availsim::fault

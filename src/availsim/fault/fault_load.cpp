@@ -1,0 +1,31 @@
+#include "availsim/fault/fault.hpp"
+
+namespace availsim::fault {
+
+namespace {
+constexpr double kMinute = 60.0;
+constexpr double kHour = 3600.0;
+constexpr double kDay = 86400.0;
+constexpr double kWeek = 7 * kDay;
+constexpr double kMonth = 30 * kDay;
+constexpr double kYear = 365 * kDay;
+}  // namespace
+
+std::vector<FaultSpec> table1_fault_load(int nodes, int disks_per_node,
+                                         bool has_frontend) {
+  std::vector<FaultSpec> specs;
+  specs.push_back({FaultType::kLinkDown, 6 * kMonth, 3 * kMinute, nodes});
+  specs.push_back({FaultType::kSwitchDown, kYear, kHour, 1});
+  specs.push_back(
+      {FaultType::kScsiTimeout, kYear, kHour, nodes * disks_per_node});
+  specs.push_back({FaultType::kNodeCrash, 2 * kWeek, 3 * kMinute, nodes});
+  specs.push_back({FaultType::kNodeFreeze, 2 * kWeek, 3 * kMinute, nodes});
+  specs.push_back({FaultType::kAppCrash, 2 * kMonth, 3 * kMinute, nodes});
+  specs.push_back({FaultType::kAppHang, 2 * kMonth, 3 * kMinute, nodes});
+  if (has_frontend) {
+    specs.push_back({FaultType::kFrontendFailure, 6 * kMonth, 3 * kMinute, 1});
+  }
+  return specs;
+}
+
+}  // namespace availsim::fault

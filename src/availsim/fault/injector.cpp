@@ -1,0 +1,77 @@
+#include "availsim/fault/injector.hpp"
+
+#include <utility>
+
+namespace availsim::fault {
+
+FaultInjector::FaultInjector(sim::Simulator& simulator, FaultTarget& target,
+                             sim::Rng rng)
+    : sim_(simulator), target_(target), rng_(std::move(rng)) {}
+
+void FaultInjector::fire(bool is_repair, FaultType type, int component) {
+  Event ev{sim_.now(), is_repair, type, component};
+  log_.push_back(ev);
+  if (is_repair) {
+    --active_;
+    target_.repair(type, component);
+  } else {
+    ++active_;
+    target_.inject(type, component);
+  }
+  if (on_event) on_event(ev);
+  if (is_repair && active_ == 0 && !deferred_.empty()) {
+    auto next = std::move(deferred_.front());
+    deferred_.erase(deferred_.begin());
+    sim_.schedule_after(0, std::move(next));
+  }
+}
+
+void FaultInjector::schedule_fault(sim::Time at, FaultType type, int component,
+                                   sim::Time duration) {
+  sim_.schedule_at(at, [this, type, component] { fire(false, type, component); });
+  sim_.schedule_at(at + duration,
+                   [this, type, component] { fire(true, type, component); });
+}
+
+void FaultInjector::schedule_fault(sim::Time at, FaultType type,
+                                   int component) {
+  sim_.schedule_at(at, [this, type, component] { fire(false, type, component); });
+}
+
+void FaultInjector::repair_now(FaultType type, int component) {
+  fire(true, type, component);
+}
+
+void FaultInjector::run_expected_load(const std::vector<FaultSpec>& specs,
+                                      bool serialize, sim::Time horizon) {
+  for (const auto& spec : specs) {
+    for (int c = 0; c < spec.component_count; ++c) {
+      arm_component(spec, c, serialize, horizon);
+    }
+  }
+}
+
+void FaultInjector::arm_component(const FaultSpec& spec, int component,
+                                  bool serialize, sim::Time horizon) {
+  const sim::Time gap = sim::from_seconds(rng_.exponential(spec.mttf_seconds));
+  const sim::Time at = sim_.now() + gap;
+  if (at >= horizon) return;
+  sim_.schedule_at(at, [this, spec, component, serialize, horizon] {
+    auto strike = [this, spec, component, serialize, horizon] {
+      fire(false, spec.type, component);
+      const sim::Time repair_at =
+          sim_.now() + sim::from_seconds(spec.mttr_seconds);
+      sim_.schedule_at(repair_at, [this, spec, component, serialize, horizon] {
+        fire(true, spec.type, component);
+        arm_component(spec, component, serialize, horizon);
+      });
+    };
+    if (serialize && active_ > 0) {
+      deferred_.push_back(strike);
+    } else {
+      strike();
+    }
+  });
+}
+
+}  // namespace availsim::fault

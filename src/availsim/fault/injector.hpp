@@ -1,0 +1,81 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "availsim/fault/fault.hpp"
+#include "availsim/sim/rng.hpp"
+#include "availsim/sim/simulator.hpp"
+
+namespace availsim::fault {
+
+/// Interface the testbed exposes to the injector. The harness's Testbed
+/// implements this by routing each (type, component) pair to the right
+/// substrate hook (link/switch state, disk fault, host crash/freeze,
+/// process crash/hang, front-end kill).
+class FaultTarget {
+ public:
+  virtual ~FaultTarget() = default;
+  virtual void inject(FaultType type, int component) = 0;
+  virtual void repair(FaultType type, int component) = 0;
+};
+
+/// Mendosus-equivalent fault injector. Two modes:
+///  * scripted single faults for the methodology's Phase 1 (one fault,
+///    known injection and repair instants), and
+///  * a stochastic expected-fault-load mode with exponential inter-arrival
+///    times per component, used to validate the Phase-2 analytic model by
+///    direct long-run simulation.
+class FaultInjector {
+ public:
+  struct Event {
+    sim::Time at;
+    bool is_repair;
+    FaultType type;
+    int component;
+  };
+
+  FaultInjector(sim::Simulator& simulator, FaultTarget& target, sim::Rng rng);
+
+  /// Scripted: inject at `at`, repair at `at + duration`.
+  void schedule_fault(sim::Time at, FaultType type, int component,
+                      sim::Time duration);
+
+  /// Scripted: inject with no scheduled repair (the harness repairs later,
+  /// e.g. after the system stabilizes, to compress long MTTRs).
+  void schedule_fault(sim::Time at, FaultType type, int component);
+
+  /// Repairs immediately (idempotent with respect to the target's hooks).
+  void repair_now(FaultType type, int component);
+
+  /// Stochastic mode: every component of every spec row fails with
+  /// exponential inter-arrival of its MTTF and repairs after its MTTR.
+  /// When `serialize` is true at most one fault is active at a time
+  /// (later arrivals are deferred until the active fault repairs), which
+  /// matches the analytic model's single-fault assumption.
+  void run_expected_load(const std::vector<FaultSpec>& specs, bool serialize,
+                         sim::Time horizon);
+
+  const std::vector<Event>& log() const { return log_; }
+  int active_faults() const { return active_; }
+
+  /// Observer fired on every injection/repair (markers for the stage
+  /// extractor).
+  std::function<void(const Event&)> on_event;
+
+ private:
+  void fire(bool is_repair, FaultType type, int component);
+  void arm_component(const FaultSpec& spec, int component, bool serialize,
+                     sim::Time horizon);
+
+  sim::Simulator& sim_;
+  FaultTarget& target_;
+  sim::Rng rng_;
+  std::vector<Event> log_;
+  int active_ = 0;
+  // Deferred stochastic faults waiting for the active one to clear.
+  std::vector<std::function<void()>> deferred_;
+};
+
+}  // namespace availsim::fault

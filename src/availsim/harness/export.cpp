@@ -1,0 +1,55 @@
+#include "availsim/harness/export.hpp"
+
+#include <fstream>
+
+#include "availsim/model/template.hpp"
+
+namespace availsim::harness {
+
+bool export_model_csv(const model::SystemModel& model,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "fault,mttf_s,mttr_s,components";
+  for (int s = 0; s < model::kStageCount; ++s) {
+    out << ",t_" << model::stage_name(static_cast<model::Stage>(s));
+  }
+  for (int s = 0; s < model::kStageCount; ++s) {
+    out << ",tput_" << model::stage_name(static_cast<model::Stage>(s));
+  }
+  out << ",unavailability\n";
+  out.precision(10);
+  for (const auto& f : model.faults()) {
+    out << fault::to_string(f.type) << "," << f.mttf_seconds << ","
+        << f.mttr_seconds << "," << f.components;
+    for (int s = 0; s < model::kStageCount; ++s) out << "," << f.stages.duration[s];
+    for (int s = 0; s < model::kStageCount; ++s) {
+      out << "," << f.stages.throughput[s];
+    }
+    out << "," << f.unavailability(model.t0()) << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool export_breakdown_csv(
+    const std::vector<std::pair<std::string, model::SystemModel>>& models,
+    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "config";
+  for (auto t : fault::all_fault_types()) out << "," << fault::to_string(t);
+  out << ",total\n";
+  out.precision(10);
+  for (const auto& [name, m] : models) {
+    out << name;
+    const auto by = m.unavailability_by_fault();
+    for (auto t : fault::all_fault_types()) {
+      auto it = by.find(t);
+      out << "," << (it == by.end() ? 0.0 : it->second);
+    }
+    out << "," << m.unavailability() << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace availsim::harness

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "availsim/model/availability_model.hpp"
+
+namespace availsim::harness {
+
+/// Writes one characterized system as CSV: a row per fault class with its
+/// MTTF/MTTR/component count, the seven stage durations and throughputs,
+/// and the resulting unavailability contribution. Plot-ready.
+bool export_model_csv(const model::SystemModel& model,
+                      const std::string& path);
+
+/// Writes a configurations x fault-classes unavailability matrix (the
+/// stacked-bar data of the paper's Figures 7/9/10).
+bool export_breakdown_csv(
+    const std::vector<std::pair<std::string, model::SystemModel>>& models,
+    const std::string& path);
+
+}  // namespace availsim::harness

@@ -1,0 +1,86 @@
+#include "availsim/harness/model_cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace availsim::harness {
+
+void save_model(const model::SystemModel& model, const std::string& path) {
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  std::ofstream out(path);
+  out.precision(12);
+  out << "t0 " << model.t0() << "\n";
+  for (const auto& f : model.faults()) {
+    out << "fault " << static_cast<int>(f.type) << " " << f.mttf_seconds
+        << " " << f.mttr_seconds << " " << f.components << "\n";
+    out << "stages";
+    for (int s = 0; s < model::kStageCount; ++s) {
+      out << " " << f.stages.duration[s];
+    }
+    for (int s = 0; s < model::kStageCount; ++s) {
+      out << " " << f.stages.throughput[s];
+    }
+    out << "\n";
+  }
+}
+
+std::optional<model::SystemModel> load_model(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string key;
+  double t0 = 0;
+  if (!(in >> key >> t0) || key != "t0") return std::nullopt;
+  std::vector<model::FaultTemplate> faults;
+  while (in >> key) {
+    if (key != "fault") return std::nullopt;
+    model::FaultTemplate f;
+    int type = 0;
+    if (!(in >> type >> f.mttf_seconds >> f.mttr_seconds >> f.components)) {
+      return std::nullopt;
+    }
+    f.type = static_cast<fault::FaultType>(type);
+    if (!(in >> key) || key != "stages") return std::nullopt;
+    for (int s = 0; s < model::kStageCount; ++s) {
+      in >> f.stages.duration[s];
+    }
+    for (int s = 0; s < model::kStageCount; ++s) {
+      in >> f.stages.throughput[s];
+    }
+    if (!in) return std::nullopt;
+    faults.push_back(f);
+  }
+  return model::SystemModel(t0, std::move(faults));
+}
+
+std::string default_cache_dir() {
+  if (const char* env = std::getenv("AVAILSIM_CACHE_DIR")) return env;
+  return "availsim_results";
+}
+
+model::SystemModel characterize_cached(const TestbedOptions& options,
+                                       const std::string& cache_dir,
+                                       const Phase1Options& phase1) {
+  const std::string path = cache_dir + "/" + to_string(options.config) +
+                           "-" + std::to_string(options.seed) + ".model";
+  if (auto cached = load_model(path)) {
+    std::printf("[cache] %s loaded from %s\n", to_string(options.config),
+                path.c_str());
+    return *cached;
+  }
+  std::printf("[phase1] characterizing %s (8 single-fault campaigns)...\n",
+              to_string(options.config));
+  std::fflush(stdout);
+  model::SystemModel m = characterize(
+      options, phase1, [](const Phase1Result& r) {
+        std::printf("  %-18s T0=%7.1f  %s\n", fault::to_string(r.type), r.t0,
+                    model::to_string(r.tmpl.stages).c_str());
+        std::fflush(stdout);
+      });
+  save_model(m, path);
+  return m;
+}
+
+}  // namespace availsim::harness

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "availsim/harness/experiment.hpp"
+#include "availsim/model/availability_model.hpp"
+
+namespace availsim::harness {
+
+/// Persists a characterized SystemModel (T0 + per-fault templates) to a
+/// small text file so that the per-figure bench binaries can share one
+/// Phase-1 measurement campaign instead of each re-running it.
+void save_model(const model::SystemModel& model, const std::string& path);
+std::optional<model::SystemModel> load_model(const std::string& path);
+
+/// Characterizes `options`' configuration, caching the result under
+/// `cache_dir/<config>-<seed>.model`. Prints progress to stdout.
+model::SystemModel characterize_cached(const TestbedOptions& options,
+                                       const std::string& cache_dir,
+                                       const Phase1Options& phase1 = {});
+
+/// Default cache directory for the bench binaries.
+std::string default_cache_dir();
+
+}  // namespace availsim::harness

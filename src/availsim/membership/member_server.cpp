@@ -1,0 +1,354 @@
+#include "availsim/membership/member_server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace availsim::membership {
+
+namespace {
+constexpr std::size_t kSmallMsg = 96;
+}
+
+MemberServer::MemberServer(sim::Simulator& simulator,
+                           net::Network& cluster_net, net::Host& host,
+                           sim::Rng rng, MemberServerParams params,
+                           MembershipBoard& board)
+    : sim_(simulator),
+      net_(cluster_net),
+      host_(host),
+      rng_(std::move(rng)),
+      p_(params),
+      board_(board) {}
+
+void MemberServer::mark(const char* m, net::NodeId about) {
+  if (on_marker) on_marker(m, about);
+}
+
+void MemberServer::start() {
+  if (!host_ok()) return;
+  ++epoch_;
+  running_ = true;
+  view_.clear();
+  view_.insert(id());
+  view_version_ = 0;
+  last_seen_.clear();
+  proposals_.clear();
+  removing_.clear();
+  joined_ = false;
+
+  host_.bind(net::ports::kMembership,
+             [this](const net::Packet& p) { on_packet(p); });
+  host_.bind(net::ports::kMembershipJoin,
+             [this](const net::Packet& p) { on_packet(p); });
+  net_.multicast_join(kMembershipMulticastGroup, id());
+
+  publish();
+  send_multicast(MemberMsg{JoinRequest{id()}});
+  // If nobody answers, we are the first daemon: form a singleton group.
+  sim_.schedule_after(p_.join_timeout, [this, e = epoch_] {
+    if (epoch_ != e || !running_) return;
+    if (!joined_) {
+      joined_ = true;
+      mark("group_formed");
+    }
+  });
+
+  arm_heartbeat_timer();
+  arm_monitor_timer();
+  arm_announce_timer();
+  mark("daemon_start");
+}
+
+void MemberServer::on_host_crashed() {
+  if (!running_) return;
+  ++epoch_;
+  running_ = false;
+  proposals_.clear();
+  removing_.clear();
+  // The host already dropped our port bindings; the multicast subscription
+  // is a switch-side state that persists, which is harmless (packets to a
+  // dead host are dropped).
+}
+
+void MemberServer::publish() {
+  board_.publish({view_.begin(), view_.end()});
+}
+
+void MemberServer::send_unicast(net::NodeId dst, MemberMsg msg) {
+  net_.send(id(), dst, net::ports::kMembership, kSmallMsg,
+            net::make_body<MemberMsg>(std::move(msg)));
+}
+
+void MemberServer::send_multicast(MemberMsg msg) {
+  net_.multicast(id(), kMembershipMulticastGroup, net::ports::kMembershipJoin,
+                 kSmallMsg, net::make_body<MemberMsg>(std::move(msg)));
+}
+
+void MemberServer::on_packet(const net::Packet& packet) {
+  if (!ok()) return;
+  const auto& wrapped = net::body_as<MemberMsg>(packet);
+  std::visit(
+      [this, &packet](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, MHeartbeat>) {
+          handle_heartbeat(msg);
+        } else if constexpr (std::is_same_v<T, ProposeChange>) {
+          handle_propose(msg, packet.src);
+        } else if constexpr (std::is_same_v<T, AckChange>) {
+          handle_ack(msg);
+        } else if constexpr (std::is_same_v<T, CommitChange>) {
+          handle_commit(msg, packet.src);
+        } else if constexpr (std::is_same_v<T, JoinRequest>) {
+          handle_join_request(msg);
+        } else if constexpr (std::is_same_v<T, AliveAnnounce>) {
+          handle_alive(msg);
+        }
+      },
+      wrapped.msg);
+}
+
+// ---------------------------------------------------------------------------
+// Ring monitoring
+// ---------------------------------------------------------------------------
+
+std::vector<net::NodeId> MemberServer::neighbours() const {
+  std::vector<net::NodeId> out;
+  if (view_.size() < 2) return out;
+  std::vector<net::NodeId> ring(view_.begin(), view_.end());
+  auto it = std::find(ring.begin(), ring.end(), id());
+  const std::size_t i = static_cast<std::size_t>(it - ring.begin());
+  const std::size_t n = ring.size();
+  out.push_back(ring[(i + 1) % n]);  // downstream
+  if (n > 2) out.push_back(ring[(i + n - 1) % n]);  // upstream
+  return out;
+}
+
+void MemberServer::arm_heartbeat_timer() {
+  sim_.schedule_after(p_.heartbeat_period, [this, e = epoch_] {
+    if (epoch_ != e || !running_) return;
+    if (host_ok()) send_heartbeats();
+    arm_heartbeat_timer();
+  });
+}
+
+void MemberServer::send_heartbeats() {
+  for (net::NodeId nb : neighbours()) {
+    send_unicast(nb, MemberMsg{MHeartbeat{id(), view_version_}});
+  }
+}
+
+void MemberServer::arm_monitor_timer() {
+  sim_.schedule_after(p_.monitor_period, [this, e = epoch_] {
+    if (epoch_ != e || !running_) return;
+    if (host_ok()) check_neighbours();
+    arm_monitor_timer();
+  });
+}
+
+void MemberServer::check_neighbours() {
+  const sim::Time deadline =
+      p_.heartbeat_tolerance * p_.heartbeat_period + p_.heartbeat_period / 2;
+  for (net::NodeId nb : neighbours()) {
+    auto it = last_seen_.find(nb);
+    if (it == last_seen_.end()) {
+      last_seen_[nb] = sim_.now();  // grace for a new neighbour
+      continue;
+    }
+    if (sim_.now() - it->second > deadline && !removing_.contains(nb)) {
+      mark("suspect", nb);
+      coordinate_change(/*add=*/false, nb, {});
+    }
+  }
+}
+
+void MemberServer::handle_heartbeat(const MHeartbeat& msg) {
+  last_seen_[msg.from] = sim_.now();
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase-commit group changes
+// ---------------------------------------------------------------------------
+
+void MemberServer::coordinate_change(bool add, net::NodeId subject,
+                                     std::vector<net::NodeId> extra) {
+  if (!add && !view_.contains(subject)) return;
+  if (add && view_.contains(subject) && extra.empty()) return;
+  const std::uint64_t change_id =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id())) << 32) |
+      next_change_++;
+  ProposeChange change;
+  change.add = add;
+  change.subject = subject;
+  change.proposer = id();
+  change.change_id = change_id;
+  change.extra = std::move(extra);
+  Proposal& prop = proposals_[change_id];
+  prop.change = change;
+  if (!add) removing_.insert(subject);
+
+  bool have_voters = false;
+  for (net::NodeId m : view_) {
+    if (m == id() || m == subject) continue;
+    have_voters = true;
+    send_unicast(m, MemberMsg{change});
+  }
+  if (!have_voters) {
+    finish_proposal(change_id);
+    return;
+  }
+  sim_.schedule_after(p_.ack_timeout, [this, e = epoch_, change_id] {
+    if (epoch_ != e || !running_) return;
+    finish_proposal(change_id);
+  });
+}
+
+void MemberServer::handle_propose(const ProposeChange& msg, net::NodeId from) {
+  // Phase 1 vote: a member acks any proposal from a peer it can hear. The
+  // convergence argument relies on partitions being consistent (paper
+  // §4.2), which the switched-LAN fabric guarantees.
+  send_unicast(from, MemberMsg{AckChange{msg.change_id, id()}});
+  if (!msg.add) removing_.insert(msg.subject);
+}
+
+void MemberServer::handle_ack(const AckChange& msg) {
+  auto it = proposals_.find(msg.change_id);
+  if (it == proposals_.end() || it->second.done) return;
+  it->second.acks.insert(msg.from);
+  // Commit as soon as every other live member acked.
+  std::size_t voters = 0;
+  for (net::NodeId m : view_) {
+    if (m != id() && m != it->second.change.subject) ++voters;
+  }
+  if (it->second.acks.size() >= voters) finish_proposal(msg.change_id);
+}
+
+void MemberServer::finish_proposal(std::uint64_t change_id) {
+  auto it = proposals_.find(change_id);
+  if (it == proposals_.end() || it->second.done) return;
+  it->second.done = true;
+  const ProposeChange& change = it->second.change;
+
+  std::vector<net::NodeId> new_view(view_.begin(), view_.end());
+  if (change.add) {
+    new_view.push_back(change.subject);
+    for (net::NodeId n : change.extra) new_view.push_back(n);
+    std::sort(new_view.begin(), new_view.end());
+    new_view.erase(std::unique(new_view.begin(), new_view.end()),
+                   new_view.end());
+  } else {
+    std::erase(new_view, change.subject);
+  }
+
+  CommitChange commit;
+  commit.add = change.add;
+  commit.subject = change.subject;
+  commit.change_id = change_id;
+  commit.new_view = new_view;
+  for (net::NodeId m : new_view) {
+    if (m == id()) continue;
+    send_unicast(m, MemberMsg{commit});
+  }
+  handle_commit(commit, id());
+  proposals_.erase(change_id);
+}
+
+void MemberServer::handle_commit(const CommitChange& msg,
+                                 net::NodeId coordinator) {
+  // Only coordinators we currently recognise may rewrite our view; a
+  // daemon resuming from a freeze with a stale view must not be able to
+  // poison the healthy group. The one exception is a merge: a foreign
+  // group's coordinator committing a view that *includes us* is the
+  // re-admission path.
+  const bool trusted = coordinator == id() || view_.contains(coordinator);
+  const bool readmission =
+      msg.add && std::find(msg.new_view.begin(), msg.new_view.end(), id()) !=
+                     msg.new_view.end();
+  if (!trusted && !readmission) return;
+  if (!msg.add) removing_.erase(msg.subject);
+  if (std::find(msg.new_view.begin(), msg.new_view.end(), id()) ==
+      msg.new_view.end()) {
+    // The group removed us (e.g. an application-level NodeDown report while
+    // our daemon was healthy). Fall back to a singleton group; the periodic
+    // announcements will merge us back once we are really healthy.
+    install_view({id()});
+    mark("removed_from_group");
+    return;
+  }
+  install_view(msg.new_view);
+  mark(msg.add ? "member_added" : "member_removed", msg.subject);
+}
+
+void MemberServer::install_view(std::vector<net::NodeId> members) {
+  view_.clear();
+  view_.insert(members.begin(), members.end());
+  view_.insert(id());
+  ++view_version_;
+  joined_ = true;
+  // Grace: don't instantly suspect new neighbours.
+  for (net::NodeId nb : neighbours()) last_seen_[nb] = sim_.now();
+  publish();
+}
+
+// ---------------------------------------------------------------------------
+// Join & merge
+// ---------------------------------------------------------------------------
+
+void MemberServer::handle_join_request(const JoinRequest& msg) {
+  if (msg.joiner == id()) return;
+  // The lowest-id member of the group coordinates the add.
+  if (id() != *view_.begin()) return;
+  if (view_.contains(msg.joiner)) {
+    // Stale join (e.g. the joiner restarted quickly): re-send it the view.
+    CommitChange refresh;
+    refresh.add = true;
+    refresh.subject = msg.joiner;
+    refresh.change_id = 0;
+    refresh.new_view.assign(view_.begin(), view_.end());
+    send_unicast(msg.joiner, MemberMsg{refresh});
+    return;
+  }
+  coordinate_change(/*add=*/true, msg.joiner, {});
+}
+
+void MemberServer::arm_announce_timer() {
+  // Stagger announcements so daemons don't phase-lock.
+  const sim::Time jitter =
+      static_cast<sim::Time>(rng_.uniform() * static_cast<double>(sim::kSecond));
+  sim_.schedule_after(p_.announce_period + jitter, [this, e = epoch_] {
+    if (epoch_ != e || !running_) return;
+    if (host_ok()) {
+      AliveAnnounce alive;
+      alive.from = id();
+      alive.members.assign(view_.begin(), view_.end());
+      send_multicast(MemberMsg{std::move(alive)});
+    }
+    arm_announce_timer();
+  });
+}
+
+void MemberServer::handle_alive(const AliveAnnounce& msg) {
+  if (view_.contains(msg.from)) return;
+  // A daemon we can hear is not in our group: the groups should merge.
+  // Our lowest-id member coordinates the union.
+  if (id() != *view_.begin()) return;
+  std::vector<net::NodeId> extra;
+  for (net::NodeId m : msg.members) {
+    if (!view_.contains(m) && m != msg.from) extra.push_back(m);
+  }
+  mark("merge", msg.from);
+  coordinate_change(/*add=*/true, msg.from, std::move(extra));
+}
+
+// ---------------------------------------------------------------------------
+// Application reports
+// ---------------------------------------------------------------------------
+
+void MemberServer::node_down_report(net::NodeId node) {
+  if (!ok()) return;
+  if (!view_.contains(node) || node == id()) return;
+  if (removing_.contains(node)) return;
+  mark("node_down_report", node);
+  coordinate_change(/*add=*/false, node, {});
+}
+
+}  // namespace availsim::membership

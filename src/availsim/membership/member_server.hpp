@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "availsim/membership/board.hpp"
+#include "availsim/membership/messages.hpp"
+#include "availsim/net/network.hpp"
+#include "availsim/sim/rng.hpp"
+
+namespace availsim::membership {
+
+struct MemberServerParams {
+  sim::Time heartbeat_period = 5 * sim::kSecond;
+  int heartbeat_tolerance = 3;
+  sim::Time monitor_period = sim::kSecond;
+  sim::Time ack_timeout = 2 * sim::kSecond;
+  sim::Time join_timeout = 3 * sim::kSecond;
+  /// Period of the AliveAnnounce multicast that re-merges splintered
+  /// sub-groups once the network heals.
+  sim::Time announce_period = 15 * sim::kSecond;
+};
+
+/// The robust group-membership daemon (paper §4.2): an independent service
+/// process on every node. Members arrange themselves in a logical ring and
+/// heartbeat both neighbours; group changes go through a two-phase commit
+/// coordinated by the detecting member; new nodes join via a well-known IP
+/// multicast address; network partitions yield independent sub-groups that
+/// re-merge through periodic announcements. The daemon publishes its view
+/// to a shared-memory board that applications watch through the client
+/// library.
+class MemberServer {
+ public:
+  MemberServer(sim::Simulator& simulator, net::Network& cluster_net,
+               net::Host& host, sim::Rng rng, MemberServerParams params,
+               MembershipBoard& board);
+
+  net::NodeId id() const { return host_.id(); }
+
+  /// Starts (or restarts) the daemon: multicast a join request; if nobody
+  /// answers, form a singleton group.
+  void start();
+
+  /// --- fault hooks ---
+  void on_host_crashed();
+
+  /// Application NodeDown() report: the app observed that `node` is down
+  /// even though the daemon-level ring may disagree; the group removes it.
+  void node_down_report(net::NodeId node);
+
+  const std::set<net::NodeId>& view() const { return view_; }
+  bool running() const { return running_; }
+
+  std::function<void(const char* marker, net::NodeId about)> on_marker;
+
+ private:
+  bool host_ok() const { return host_.state() == net::Host::State::kUp; }
+  bool ok() const { return running_ && host_ok(); }
+  void mark(const char* m, net::NodeId about = net::kNoNode);
+
+  void on_packet(const net::Packet& packet);
+  void handle_heartbeat(const MHeartbeat& msg);
+  void handle_propose(const ProposeChange& msg, net::NodeId from);
+  void handle_ack(const AckChange& msg);
+  void handle_commit(const CommitChange& msg, net::NodeId coordinator);
+  void handle_join_request(const JoinRequest& msg);
+  void handle_alive(const AliveAnnounce& msg);
+
+  void arm_heartbeat_timer();
+  void arm_monitor_timer();
+  void arm_announce_timer();
+  void send_heartbeats();
+  void check_neighbours();
+  std::vector<net::NodeId> neighbours() const;
+
+  void coordinate_change(bool add, net::NodeId subject,
+                         std::vector<net::NodeId> extra);
+  void finish_proposal(std::uint64_t change_id);
+  void install_view(std::vector<net::NodeId> members);
+  void publish();
+  void send_unicast(net::NodeId dst, MemberMsg msg);
+  void send_multicast(MemberMsg msg);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  net::Host& host_;
+  sim::Rng rng_;
+  MemberServerParams p_;
+  MembershipBoard& board_;
+
+  bool running_ = false;
+  std::uint64_t epoch_ = 0;
+  std::set<net::NodeId> view_;
+  std::uint64_t view_version_ = 0;
+  std::unordered_map<net::NodeId, sim::Time> last_seen_;
+  bool joined_ = false;
+
+  struct Proposal {
+    ProposeChange change;
+    std::set<net::NodeId> acks;
+    bool done = false;
+  };
+  std::unordered_map<std::uint64_t, Proposal> proposals_;
+  std::uint64_t next_change_ = 1;
+  // Subjects with an in-flight removal, to avoid proposal storms.
+  std::set<net::NodeId> removing_;
+};
+
+}  // namespace availsim::membership

@@ -1,0 +1,53 @@
+#include "availsim/model/availability_model.hpp"
+
+#include <algorithm>
+
+namespace availsim::model {
+
+SystemModel::SystemModel(double t0, std::vector<FaultTemplate> faults)
+    : t0_(t0), faults_(std::move(faults)) {}
+
+FaultTemplate* SystemModel::find(fault::FaultType type) {
+  for (auto& f : faults_) {
+    if (f.type == type) return &f;
+  }
+  return nullptr;
+}
+
+const FaultTemplate* SystemModel::find(fault::FaultType type) const {
+  for (const auto& f : faults_) {
+    if (f.type == type) return &f;
+  }
+  return nullptr;
+}
+
+double SystemModel::average_throughput() const {
+  if (t0_ <= 0) return 0;
+  double fault_time_fraction = 0;
+  double degraded_throughput = 0;  // sum_i n_i * served_i / MTTF_i
+  for (const auto& f : faults_) {
+    fault_time_fraction += f.time_fraction();
+    if (f.mttf_seconds > 0) {
+      degraded_throughput +=
+          f.components * f.stages.served_requests(t0_) / f.mttf_seconds;
+    }
+  }
+  fault_time_fraction = std::min(fault_time_fraction, 1.0);
+  return (1.0 - fault_time_fraction) * t0_ + degraded_throughput;
+}
+
+double SystemModel::availability() const {
+  if (t0_ <= 0) return 1.0;
+  return average_throughput() / t0_;
+}
+
+std::map<fault::FaultType, double> SystemModel::unavailability_by_fault()
+    const {
+  std::map<fault::FaultType, double> out;
+  for (const auto& f : faults_) {
+    out[f.type] += f.unavailability(t0_);
+  }
+  return out;
+}
+
+}  // namespace availsim::model

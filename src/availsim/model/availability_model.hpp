@@ -1,0 +1,46 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "availsim/model/template.hpp"
+
+namespace availsim::model {
+
+/// The Phase-2 analytic model: combines fault-free throughput with the
+/// per-fault 7-stage templates and the expected fault load to produce
+/// expected average throughput (AT) and availability (AA):
+///
+///   f_i = n_i * D_i / MTTF_i                 (D_i = template duration)
+///   AT  = (1 - sum_i f_i) * T0 + sum_i n_i * served_i / MTTF_i
+///   AA  = AT / T0
+///
+/// assuming independent faults, immediate error manifestation, and at most
+/// one fault in effect at a time.
+class SystemModel {
+ public:
+  SystemModel() = default;
+  SystemModel(double t0, std::vector<FaultTemplate> faults);
+
+  double t0() const { return t0_; }
+  const std::vector<FaultTemplate>& faults() const { return faults_; }
+  std::vector<FaultTemplate>& faults() { return faults_; }
+  void set_t0(double t0) { t0_ = t0; }
+
+  FaultTemplate* find(fault::FaultType type);
+  const FaultTemplate* find(fault::FaultType type) const;
+
+  double average_throughput() const;
+  double availability() const;
+  double unavailability() const { return 1.0 - availability(); }
+
+  /// Per-fault-type unavailability contributions (the stacked bars of the
+  /// paper's Figures 7-10).
+  std::map<fault::FaultType, double> unavailability_by_fault() const;
+
+ private:
+  double t0_ = 0;
+  std::vector<FaultTemplate> faults_;
+};
+
+}  // namespace availsim::model

@@ -1,0 +1,92 @@
+#include "availsim/model/hardware.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace availsim::model {
+
+double composite_mttf(double mttf_seconds, double mttr_seconds,
+                      int redundancy) {
+  if (redundancy <= 1) return mttf_seconds;
+  return mttf_seconds / redundancy *
+         std::pow(mttf_seconds / mttr_seconds, redundancy - 1);
+}
+
+void apply_raid(SystemModel& model, double factor) {
+  if (auto* f = model.find(fault::FaultType::kScsiTimeout)) {
+    f->mttf_seconds *= factor;
+  }
+}
+
+void apply_backup_switch(SystemModel& model, double factor) {
+  if (auto* f = model.find(fault::FaultType::kSwitchDown)) {
+    f->mttf_seconds *= factor;
+  }
+}
+
+void apply_redundant_frontend(SystemModel& model, double takeover_seconds) {
+  auto* f = model.find(fault::FaultType::kFrontendFailure);
+  if (!f) return;
+  StageTemplate st;
+  st.t(Stage::kA) = takeover_seconds;  // requests lost until IP takeover
+  st.tput(Stage::kA) = 0;
+  f->stages = st;
+}
+
+void apply_sfme(SystemModel& model, double masked_fraction) {
+  const double t0 = model.t0();
+  for (auto& f : model.faults()) {
+    switch (f.type) {
+      case fault::FaultType::kLinkDown:
+      case fault::FaultType::kAppCrash:
+      case fault::FaultType::kAppHang:
+      case fault::FaultType::kScsiTimeout:
+      case fault::FaultType::kNodeFreeze: {
+        // After detection, the isolated/faulty node is offline and the
+        // front-end redistributes its share over the healthy spares.
+        const double masked = masked_fraction * t0;
+        for (Stage s : {Stage::kC, Stage::kD, Stage::kE}) {
+          if (f.stages.t(s) > 0) {
+            f.stages.tput(s) = std::max(f.stages.tput(s), masked);
+          }
+        }
+        // The operator is no longer needed once isolation resolves itself.
+        for (Stage s : {Stage::kF, Stage::kG}) {
+          if (f.stages.t(s) > 0) {
+            f.stages.tput(s) = std::max(f.stages.tput(s), masked);
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+void apply_operator_response(SystemModel& model, double response_seconds) {
+  for (auto& f : model.faults()) {
+    if (f.stages.t(Stage::kF) > 0) {
+      f.stages.t(Stage::kE) = response_seconds;
+    }
+  }
+}
+
+void apply_cmon(SystemModel& model, double detection_seconds) {
+  for (auto& f : model.faults()) {
+    switch (f.type) {
+      case fault::FaultType::kNodeCrash:
+      case fault::FaultType::kNodeFreeze:
+      case fault::FaultType::kAppCrash:
+        // Connection monitoring sees these in ~2 s; the no-service window
+        // before masking shrinks.
+        f.stages.t(Stage::kA) =
+            std::min(f.stages.t(Stage::kA), detection_seconds);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace availsim::model

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "availsim/model/availability_model.hpp"
+
+namespace availsim::model {
+
+/// Composite MTTF of N redundant components with independent failures and
+/// repair (Patterson/Gibson/Katz-style RAID arithmetic):
+///   MTTF_composite = (MTTF / N) * (MTTF / MTTR)^(N-1)
+double composite_mttf(double mttf_seconds, double mttr_seconds,
+                      int redundancy);
+
+/// The paper's modeled hardware-redundancy improvements (§6.1):
+/// "a reduction in the MTTF of disk failures from 1 per year to once per
+/// 438 years, and of switch failures from 1 per year to once per 40 years."
+inline constexpr double kRaidMttfFactor = 438.0;
+inline constexpr double kBackupSwitchMttfFactor = 40.0;
+
+/// Multiplies the SCSI-timeout MTTF by the RAID factor.
+void apply_raid(SystemModel& model, double factor = kRaidMttfFactor);
+
+/// Multiplies the switch MTTF by the backup-switch factor.
+void apply_backup_switch(SystemModel& model,
+                         double factor = kBackupSwitchMttfFactor);
+
+/// Redundant front-end pair with heartbeats and IP takeover: the outage
+/// per front-end failure shrinks from its MTTR to the takeover window.
+void apply_redundant_frontend(SystemModel& model,
+                              double takeover_seconds = 10.0);
+
+/// --- modeled software improvements of §6.2 ---
+
+/// S-FME: a global monitor takes isolated (but pingable) nodes offline, so
+/// the front-end masks them instead of overloading them. Modeled as: for
+/// node-scoped faults, post-detection stages recover to at least the
+/// "(n-1) of n nodes serving with spare capacity" level.
+void apply_sfme(SystemModel& model, double masked_fraction = 1.0);
+
+/// C-MON: the front-end detects failures via TCP connection monitoring in
+/// ~2 s instead of 15 s of pings; stage A shrinks accordingly for every
+/// fault the front-end can observe.
+void apply_cmon(SystemModel& model, double detection_seconds = 2.0);
+
+/// The operator response time is a *supplied environmental value* in the
+/// methodology (stage E lasts until the operator resets a splintered
+/// service). This re-derives a characterized model under a different
+/// assumed response time: every fault that needed an operator (stage F
+/// present) gets its stage-E duration replaced.
+void apply_operator_response(SystemModel& model, double response_seconds);
+
+}  // namespace availsim::model

@@ -1,0 +1,192 @@
+#include "availsim/model/predictions.hpp"
+
+#include <algorithm>
+
+namespace availsim::model {
+
+namespace {
+
+using fault::FaultType;
+
+bool is_node_scoped(FaultType t) {
+  return t == FaultType::kLinkDown || t == FaultType::kScsiTimeout ||
+         t == FaultType::kNodeCrash || t == FaultType::kNodeFreeze ||
+         t == FaultType::kAppCrash || t == FaultType::kAppHang;
+}
+
+/// Wedge faults propagate through cooperation (the cluster stalls until
+/// the faulty node is excised).
+bool is_wedge(FaultType t) {
+  return t == FaultType::kScsiTimeout || t == FaultType::kAppHang ||
+         t == FaultType::kNodeFreeze;
+}
+
+/// Faults the base system reintegrates from only via the operator.
+bool needs_reintegration(FaultType t) {
+  return t == FaultType::kLinkDown || t == FaultType::kScsiTimeout ||
+         t == FaultType::kNodeFreeze || t == FaultType::kAppHang;
+}
+
+void lift_stage(FaultTemplate& f, Stage s, double level) {
+  if (f.stages.t(s) > 0) {
+    f.stages.tput(s) = std::max(f.stages.tput(s), level);
+  }
+}
+
+/// Reintegration: after repair the node returns to the cooperation set, so
+/// the suboptimal stage E and the operator stages F/G vanish.
+void remove_operator_stages(FaultTemplate& f, double t0) {
+  lift_stage(f, Stage::kE, t0);
+  f.stages.t(Stage::kF) = 0;
+  f.stages.t(Stage::kG) = 0;
+}
+
+}  // namespace
+
+SystemModel predict_fex_from_coop(const SystemModel& coop,
+                                  double fe_mttf_seconds,
+                                  double fe_mttr_seconds) {
+  SystemModel m = coop;
+  const double t0 = m.t0();
+  const int base_nodes = 4;
+  for (auto& f : m.faults()) {
+    // One spare node: node-scoped component counts grow by 1/4.
+    if (is_node_scoped(f.type)) {
+      f.components = f.components + (f.components + base_nodes - 1) / base_nodes;
+    }
+    // The front-end masks *down* nodes after ping detection, and the spare
+    // absorbs the masked share. It cannot stop propagation (wedges) nor
+    // see dead processes on live nodes.
+    if (f.type == FaultType::kNodeCrash) {
+      lift_stage(f, Stage::kC, t0);
+      lift_stage(f, Stage::kD, t0);
+      lift_stage(f, Stage::kE, t0);
+    }
+  }
+  // The front-end itself is a new single point of failure.
+  FaultTemplate fe;
+  fe.type = FaultType::kFrontendFailure;
+  fe.mttf_seconds = fe_mttf_seconds;
+  fe.mttr_seconds = fe_mttr_seconds;
+  fe.components = 1;
+  fe.stages.t(Stage::kA) = fe_mttr_seconds;  // total outage until restart
+  fe.stages.tput(Stage::kA) = 0;
+  m.faults().push_back(fe);
+  return m;
+}
+
+SystemModel predict_mem(const SystemModel& fex) {
+  SystemModel m = fex;
+  const double t0 = m.t0();
+  for (auto& f : m.faults()) {
+    switch (f.type) {
+      case FaultType::kLinkDown:
+      case FaultType::kNodeCrash:
+      case FaultType::kNodeFreeze:
+        // Reachability faults: excluded in a heartbeat round, reintegrated
+        // after repair.
+        remove_operator_stages(f, t0);
+        lift_stage(f, Stage::kC, (4.0 / 5.0) * t0);
+        lift_stage(f, Stage::kD, t0);
+        break;
+      case FaultType::kAppCrash:
+        // Connection resets + NodeDown reports keep this cheap.
+        remove_operator_stages(f, t0);
+        break;
+      case FaultType::kScsiTimeout:
+      case FaultType::kAppHang:
+        // Invisible to the membership daemons: the wedge propagates and
+        // the whole cluster stalls until the fault itself clears; after
+        // that the (never-changed) group resumes by itself.
+        f.stages.tput(Stage::kC) = 0;
+        f.stages.t(Stage::kC) = f.mttr_seconds;
+        remove_operator_stages(f, t0);
+        break;
+      default:
+        break;
+    }
+  }
+  return m;
+}
+
+SystemModel predict_qmon(const SystemModel& fex) {
+  SystemModel m = fex;
+  const double t0 = m.t0();
+  const double four_fifths = (4.0 / 5.0) * t0;
+  for (auto& f : m.faults()) {
+    if (is_wedge(f.type)) {
+      // Queue thresholds excise the wedged peer within seconds: no global
+      // stall — but the node is never reintegrated, so the suboptimal
+      // stage E (and the operator) remain.
+      f.stages.t(Stage::kA) = std::min(f.stages.t(Stage::kA), 10.0);
+      lift_stage(f, Stage::kA, four_fifths);
+      lift_stage(f, Stage::kB, four_fifths);
+      lift_stage(f, Stage::kC, four_fifths);
+      // After the node recovers it cooperates one-sidedly: its forwards
+      // are dropped by peers, so its share suffers until the operator
+      // resets (stage E stays degraded as measured in COOP).
+    }
+  }
+  return m;
+}
+
+SystemModel predict_mq(const SystemModel& fex) {
+  SystemModel m = predict_qmon(fex);
+  const double t0 = m.t0();
+  for (auto& f : m.faults()) {
+    if (needs_reintegration(f.type) || f.type == FaultType::kNodeCrash ||
+        f.type == FaultType::kAppCrash) {
+      remove_operator_stages(f, t0);
+      lift_stage(f, Stage::kD, t0);
+    }
+  }
+  return m;
+}
+
+SystemModel predict_fme(const SystemModel& fex) {
+  SystemModel m = predict_mq(fex);
+  const double t0 = m.t0();
+  for (auto& f : m.faults()) {
+    switch (f.type) {
+      case FaultType::kScsiTimeout:
+        // Disk wedge -> node offline (a modeled crash): the front-end
+        // masks it and the spare absorbs the share.
+        f.stages.t(Stage::kA) = std::min(f.stages.t(Stage::kA), 10.0);
+        lift_stage(f, Stage::kC, t0);
+        break;
+      case FaultType::kAppHang:
+        // Hang -> crash-restart within a probe round.
+        f.stages.t(Stage::kA) = std::min(f.stages.t(Stage::kA), 10.0);
+        f.stages.t(Stage::kC) = std::min(f.stages.t(Stage::kC), 10.0);
+        lift_stage(f, Stage::kC, (4.0 / 5.0) * t0);
+        lift_stage(f, Stage::kD, t0);
+        break;
+      default:
+        break;
+    }
+  }
+  return m;
+}
+
+SystemModel predict_sw_only(const SystemModel& coop) {
+  // All software techniques (membership + queue monitoring + FME) applied
+  // to the 4-node COOP version *without* a front-end or spare capacity:
+  // stalls shrink to detection windows and nodes reintegrate, but a
+  // removed node's share is still lost while it is down (RR-DNS keeps
+  // sending to it).
+  SystemModel m = coop;
+  const double t0 = m.t0();
+  const double three_quarters = 0.75 * t0;
+  for (auto& f : m.faults()) {
+    if (!is_node_scoped(f.type)) continue;
+    f.stages.t(Stage::kA) = std::min(f.stages.t(Stage::kA), 10.0);
+    lift_stage(f, Stage::kA, three_quarters);
+    lift_stage(f, Stage::kB, three_quarters);
+    lift_stage(f, Stage::kC, three_quarters);
+    lift_stage(f, Stage::kD, three_quarters);
+    remove_operator_stages(f, t0);
+  }
+  return m;
+}
+
+}  // namespace availsim::model

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "availsim/model/availability_model.hpp"
+
+namespace availsim::model {
+
+/// Analytic extrapolations from the measured COOP templates (the paper's
+/// "modeled" bars in Figures 1(b), 6 and 7): each high-availability
+/// technique is modeled as a transformation of the base templates, before
+/// the technique is actually implemented and measured.
+///
+/// Assumptions (documented per transform in predictions.cpp):
+///  * the offered load stays at 90% of 4-node COOP saturation, so a
+///    front-end plus one spare node can absorb any single node's share;
+///  * detection windows: 15 s for heartbeat/ping rounds, ~10 s for queue
+///    thresholds and FME probes;
+///  * a removed-and-reintegrated node eliminates the splintered stage E
+///    and the operator stages F/G.
+
+/// FE-X: front-end + one spare node bolted onto COOP. Masks *node-down*
+/// faults after ping detection but cannot stop fault propagation; adds the
+/// front-end as a failure component.
+SystemModel predict_fex_from_coop(const SystemModel& coop,
+                                  double fe_mttf_seconds,
+                                  double fe_mttr_seconds);
+
+/// MEM: robust membership on top of FE-X. Reintegrates after link, crash
+/// and freeze faults; blind to disk wedges and application hangs (the
+/// whole cluster stalls for those until the fault itself clears).
+SystemModel predict_mem(const SystemModel& fex);
+
+/// QMON: queue monitoring on top of FE-X. Stops the propagation stall for
+/// wedge faults but never reintegrates a recovered node.
+SystemModel predict_qmon(const SystemModel& fex);
+
+/// MQ = MEM + QMON combined.
+SystemModel predict_mq(const SystemModel& fex);
+
+/// FME on top of MQ: disk wedges become node crashes (masked by the FE),
+/// hangs become crash-restarts.
+SystemModel predict_fme(const SystemModel& fex);
+
+/// Figure 1(b)'s "SW" bar: all software techniques on COOP (no FE/spare).
+SystemModel predict_sw_only(const SystemModel& coop);
+
+}  // namespace availsim::model

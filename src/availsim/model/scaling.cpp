@@ -1,0 +1,40 @@
+#include "availsim/model/scaling.hpp"
+
+#include <cassert>
+
+namespace availsim::model {
+
+SystemModel scale_cluster(const SystemModel& base, int from_nodes,
+                          int to_nodes, const ScalingOptions& options) {
+  assert(from_nodes > 0 && to_nodes > 0);
+  const double k = static_cast<double>(to_nodes) / from_nodes;
+  SystemModel scaled = base;
+  scaled.set_t0(base.t0() * k);
+
+  for (auto& f : scaled.faults()) {
+    // Component counts scale with the cluster except for the singleton
+    // switch and front-end.
+    if (f.type != fault::FaultType::kSwitchDown &&
+        f.type != fault::FaultType::kFrontendFailure) {
+      f.components = static_cast<int>(f.components * k + 0.5);
+    }
+    for (int s = 0; s < kStageCount; ++s) {
+      const double t0_old = base.t0();
+      const double frac =
+          t0_old > 0 ? f.stages.throughput[s] / t0_old : 0.0;
+      double new_frac;
+      if (frac <= options.stall_fraction) {
+        // "If throughput drops to ~0 for N nodes, it also drops to ~0 for
+        // kN nodes" — the stall fraction is preserved.
+        new_frac = frac;
+      } else {
+        // "(N-1)/N -> (kN-1)/kN": the healthy remainder shrinks by k.
+        new_frac = 1.0 - (1.0 - frac) / k;
+      }
+      f.stages.throughput[s] = new_frac * scaled.t0();
+    }
+  }
+  return scaled;
+}
+
+}  // namespace availsim::model

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "availsim/model/availability_model.hpp"
+
+namespace availsim::model {
+
+/// The paper's §6.3 scaling rules, used to extrapolate a model measured on
+/// an N-node cluster to a kN-node cluster:
+///  * per-component MTTFs are unchanged, but component counts scale
+///    (except singletons: switch, front-end);
+///  * stage durations are unchanged;
+///  * fault-free throughput scales linearly (same bottleneck resource,
+///    linear speedup assumption);
+///  * per-stage throughput scales by case: a full stall stays a full stall,
+///    while "one node removed" levels approach (kN-1)/kN of peak.
+struct ScalingOptions {
+  /// Stage throughputs below this fraction of T0 are treated as the
+  /// "dropped to zero" case and keep their absolute fraction.
+  double stall_fraction = 0.30;
+};
+
+SystemModel scale_cluster(const SystemModel& base, int from_nodes,
+                          int to_nodes, const ScalingOptions& options = {});
+
+}  // namespace availsim::model

@@ -1,0 +1,59 @@
+#include "availsim/model/template.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace availsim::model {
+
+const char* stage_name(Stage stage) {
+  static const char* names[kStageCount] = {"A", "B", "C", "D", "E", "F", "G"};
+  return names[static_cast<int>(stage)];
+}
+
+double StageTemplate::total_duration() const {
+  double total = 0;
+  for (double d : duration) total += d;
+  return total;
+}
+
+double StageTemplate::lost_requests(double t0) const {
+  double lost = 0;
+  for (int s = 0; s < kStageCount; ++s) {
+    lost += duration[s] * std::max(0.0, t0 - throughput[s]);
+  }
+  return lost;
+}
+
+double StageTemplate::served_requests(double t0) const {
+  double served = 0;
+  for (int s = 0; s < kStageCount; ++s) {
+    served += duration[s] * std::min(throughput[s], t0);
+  }
+  return served;
+}
+
+double FaultTemplate::unavailability(double t0) const {
+  if (mttf_seconds <= 0 || t0 <= 0) return 0;
+  return components * stages.lost_requests(t0) / (mttf_seconds * t0);
+}
+
+double FaultTemplate::time_fraction() const {
+  if (mttf_seconds <= 0) return 0;
+  return components * stages.total_duration() / mttf_seconds;
+}
+
+std::string to_string(const StageTemplate& st) {
+  std::string out;
+  char buf[96];
+  for (int s = 0; s < kStageCount; ++s) {
+    if (st.duration[s] <= 0) continue;
+    std::snprintf(buf, sizeof(buf), "%s: %.1fs @ %.1f req/s  ",
+                  stage_name(static_cast<Stage>(s)), st.duration[s],
+                  st.throughput[s]);
+    out += buf;
+  }
+  if (out.empty()) out = "(no degradation)";
+  return out;
+}
+
+}  // namespace availsim::model

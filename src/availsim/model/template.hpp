@@ -1,0 +1,64 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "availsim/fault/fault.hpp"
+
+namespace availsim::model {
+
+/// The seven stages of the methodology's piece-wise-linear template
+/// (paper Figure 2):
+///   A: fault active, error not yet detected
+///   B: transient while the system reconfigures around the error
+///   C: stable degraded operation until the component is repaired
+///   D: transient right after the component recovers
+///   E: stable but suboptimal operation (e.g. a splintered cluster)
+///   F: operator reset in progress
+///   G: transient warm-up after the reset
+enum class Stage { kA = 0, kB, kC, kD, kE, kF, kG };
+inline constexpr int kStageCount = 7;
+
+const char* stage_name(Stage stage);
+
+/// Durations (seconds) and average delivered throughputs (req/s) for each
+/// stage. Stages that do not occur have zero duration.
+struct StageTemplate {
+  std::array<double, kStageCount> duration{};
+  std::array<double, kStageCount> throughput{};
+
+  double& t(Stage s) { return duration[static_cast<int>(s)]; }
+  double& tput(Stage s) { return throughput[static_cast<int>(s)]; }
+  double t(Stage s) const { return duration[static_cast<int>(s)]; }
+  double tput(Stage s) const { return throughput[static_cast<int>(s)]; }
+
+  /// Total time the template spans (the denominator's per-fault duration).
+  double total_duration() const;
+
+  /// Requests lost relative to fault-free operation at T0 over one fault
+  /// occurrence: sum_s t_s * max(0, T0 - T_s).
+  double lost_requests(double t0) const;
+
+  /// Served requests over one occurrence: sum_s t_s * min(T_s, T0).
+  double served_requests(double t0) const;
+};
+
+/// A fault type's full Phase-1 characterization for one server version.
+struct FaultTemplate {
+  fault::FaultType type = fault::FaultType::kNodeCrash;
+  double mttf_seconds = 0;  // per component
+  double mttr_seconds = 0;
+  int components = 0;
+  StageTemplate stages;
+
+  /// Expected unavailability contribution of this fault class:
+  ///   n * lost / (MTTF * T0).
+  double unavailability(double t0) const;
+
+  /// Expected fraction of time spent under this fault class.
+  double time_fraction() const;
+};
+
+std::string to_string(const StageTemplate& st);
+
+}  // namespace availsim::model

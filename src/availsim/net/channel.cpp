@@ -1,0 +1,62 @@
+#include "availsim/net/channel.hpp"
+
+#include <utility>
+
+namespace availsim::net {
+
+sim::Time FlowTable::sequence(NodeId src, NodeId dst, sim::Time proposed) {
+  auto& last = last_delivery_[key(src, dst)];
+  if (proposed <= last) proposed = last + 1;  // strictly after, 1 ns apart
+  last = proposed;
+  return proposed;
+}
+
+void FlowTable::park(NodeId src, NodeId dst, PendingSend send) {
+  parked_[key(src, dst)].push_back(std::move(send));
+}
+
+std::vector<FlowTable::PendingSend> FlowTable::take_parked_touching(NodeId node) {
+  std::vector<PendingSend> out;
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    const NodeId src = static_cast<NodeId>(it->first >> 32);
+    const NodeId dst = static_cast<NodeId>(it->first & 0xFFFFFFFFu);
+    if (src == node || dst == node) {
+      for (auto& p : it->second) out.push_back(std::move(p));
+      it = parked_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::vector<FlowTable::PendingSend> FlowTable::take_all_parked() {
+  std::vector<PendingSend> out;
+  for (auto& [k, vec] : parked_) {
+    for (auto& p : vec) out.push_back(std::move(p));
+  }
+  parked_.clear();
+  return out;
+}
+
+std::vector<FlowTable::PendingSend> FlowTable::take_parked_to(NodeId dst) {
+  std::vector<PendingSend> out;
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    const NodeId d = static_cast<NodeId>(it->first & 0xFFFFFFFFu);
+    if (d == dst) {
+      for (auto& p : it->second) out.push_back(std::move(p));
+      it = parked_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::size_t FlowTable::parked_count() const {
+  std::size_t n = 0;
+  for (const auto& [k, vec] : parked_) n += vec.size();
+  return n;
+}
+
+}  // namespace availsim::net

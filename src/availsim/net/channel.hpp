@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "availsim/net/packet.hpp"
+#include "availsim/sim/time.hpp"
+
+namespace availsim::net {
+
+/// Book-keeping for reliable ("TCP-like") flows between host pairs.
+///
+/// Reliability here means: packets sent while the path is down are held and
+/// retransmitted when the path comes back (instead of being dropped like
+/// datagrams), and per-flow delivery order is preserved. Connection-reset
+/// detection (destination process gone) is reported to the sender via the
+/// per-send on_refused callback, mirroring a TCP RST.
+class FlowTable {
+ public:
+  struct PendingSend {
+    Packet packet;
+    std::function<void()> on_refused;
+  };
+
+  /// In-order constraint: returns the earliest allowed delivery time for a
+  /// reliable packet on flow (src, dst) that would otherwise arrive at
+  /// `proposed`, and records it as the flow's newest delivery.
+  sim::Time sequence(NodeId src, NodeId dst, sim::Time proposed);
+
+  /// Holds a packet that could not be transmitted because the path is down.
+  void park(NodeId src, NodeId dst, PendingSend send);
+
+  /// Removes and returns every parked packet whose flow touches `node`
+  /// (used when a link is repaired).
+  std::vector<PendingSend> take_parked_touching(NodeId node);
+
+  /// Removes and returns all parked packets (used on switch repair).
+  std::vector<PendingSend> take_all_parked();
+
+  /// Discards parked packets destined to `dst` (e.g. the destination node
+  /// crashed while unreachable; TCP would eventually reset).
+  std::vector<PendingSend> take_parked_to(NodeId dst);
+
+  std::size_t parked_count() const;
+
+ private:
+  static std::uint64_t key(NodeId src, NodeId dst) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+           static_cast<std::uint32_t>(dst);
+  }
+
+  std::unordered_map<std::uint64_t, sim::Time> last_delivery_;
+  std::unordered_map<std::uint64_t, std::vector<PendingSend>> parked_;
+};
+
+}  // namespace availsim::net

@@ -1,0 +1,75 @@
+#include "availsim/net/host.hpp"
+
+#include <utility>
+
+namespace availsim::net {
+
+Host::Host(sim::Simulator& simulator, NodeId id, std::string name)
+    : sim_(simulator), id_(id), name_(std::move(name)) {}
+
+void Host::bind(int port, Handler handler) {
+  ports_[port] = std::move(handler);
+}
+
+void Host::unbind(int port) { ports_.erase(port); }
+
+bool Host::has_port(int port) const { return ports_.contains(port); }
+
+bool Host::deliver(const Packet& packet) {
+  switch (state_) {
+    case State::kDown:
+      return false;
+    case State::kFrozen:
+      // Kernel buffers are finite: a long freeze sheds excess traffic.
+      if (parked_.size() >= kParkedCapacity) return true;
+      parked_.push_back(packet);
+      return true;  // buffered, not refused
+    case State::kUp:
+      break;
+  }
+  auto it = ports_.find(packet.port);
+  if (it == ports_.end()) return false;
+  it->second(packet);
+  return true;
+}
+
+void Host::freeze() {
+  if (state_ == State::kUp) state_ = State::kFrozen;
+}
+
+void Host::unfreeze() {
+  if (state_ != State::kFrozen) return;
+  state_ = State::kUp;
+  // Flush parked packets in arrival order. Handlers run from fresh events
+  // so that a handler freezing the host again re-parks the remainder.
+  auto backlog = std::make_shared<std::deque<Packet>>(std::move(parked_));
+  parked_.clear();
+  sim_.schedule_after(0, [this, backlog] {
+    while (!backlog->empty()) {
+      if (state_ != State::kUp) {
+        // Re-park whatever is left.
+        for (auto& p : *backlog) parked_.push_back(std::move(p));
+        return;
+      }
+      Packet p = std::move(backlog->front());
+      backlog->pop_front();
+      deliver(p);
+    }
+  });
+}
+
+void Host::crash() {
+  state_ = State::kDown;
+  parked_.clear();
+  ports_.clear();
+}
+
+void Host::reboot() {
+  if (state_ == State::kDown) state_ = State::kUp;
+}
+
+void Host::drop_parked_for_port(int port) {
+  std::erase_if(parked_, [port](const Packet& p) { return p.port == port; });
+}
+
+}  // namespace availsim::net

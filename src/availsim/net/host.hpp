@@ -1,0 +1,75 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "availsim/net/packet.hpp"
+#include "availsim/sim/simulator.hpp"
+
+namespace availsim::net {
+
+/// A machine in the testbed. The host models the OS-level failure modes of
+/// the paper's fault taxonomy: *node crash* (machine down, all process
+/// state lost), *node freeze* (machine wedged: nothing is processed and
+/// pings go unanswered until it thaws). Application-level failure modes
+/// (process crash/hang) are modeled by the applications themselves by
+/// unbinding ports or ignoring deliveries.
+class Host {
+ public:
+  enum class State { kUp, kFrozen, kDown };
+
+  /// Upper bound on packets parked while frozen (finite kernel buffers).
+  static constexpr std::size_t kParkedCapacity = 4096;
+
+  using Handler = std::function<void(const Packet&)>;
+
+  Host(sim::Simulator& simulator, NodeId id, std::string name);
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  State state() const { return state_; }
+  bool is_up() const { return state_ == State::kUp; }
+
+  /// Registers `handler` for packets addressed to `port`. Overwrites any
+  /// previous binding (a restarted process re-binds its ports).
+  void bind(int port, Handler handler);
+  void unbind(int port);
+  bool has_port(int port) const;
+
+  /// Delivers a packet to the bound handler. If the host is frozen the
+  /// packet parks and is flushed on thaw (TCP-buffer semantics); if the
+  /// host is down, or no process owns the port, the packet is dropped and
+  /// deliver() returns false (the reliable layer turns that into a reset
+  /// notification for the sender).
+  bool deliver(const Packet& packet);
+
+  /// --- fault hooks (driven by the fault injector) ---
+
+  /// Node freeze: stop processing; deliveries park.
+  void freeze();
+
+  /// Thaw from a freeze: parked deliveries flush in order.
+  void unfreeze();
+
+  /// Node crash: all parked traffic and port bindings are lost.
+  void crash();
+
+  /// Reboot after a crash: host is up, but processes must re-bind.
+  void reboot();
+
+  /// Called when a process on this host crashes or is killed; parked
+  /// packets destined for its ports are discarded.
+  void drop_parked_for_port(int port);
+
+ private:
+  sim::Simulator& sim_;
+  NodeId id_;
+  std::string name_;
+  State state_ = State::kUp;
+  std::unordered_map<int, Handler> ports_;
+  std::deque<Packet> parked_;
+};
+
+}  // namespace availsim::net

@@ -1,0 +1,173 @@
+#include "availsim/net/network.hpp"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace availsim::net {
+
+Network::Network(sim::Simulator& simulator, sim::Rng rng, NetworkParams params)
+    : sim_(simulator), rng_(std::move(rng)), params_(std::move(params)) {}
+
+void Network::attach(Host& host) {
+  hosts_[host.id()] = &host;
+  link_up_[host.id()] = true;
+  link_free_[host.id()] = 0;
+}
+
+sim::Time Network::tx_time(std::size_t bytes) const {
+  return static_cast<sim::Time>(static_cast<double>(bytes) * 8.0 /
+                                params_.bandwidth_bps * sim::kSecond);
+}
+
+bool Network::link_up(NodeId id) const {
+  auto it = link_up_.find(id);
+  return it != link_up_.end() && it->second;
+}
+
+bool Network::path_up(NodeId a, NodeId b) const {
+  if (a == b) return true;  // loopback never touches the fabric
+  return switch_up_ && link_up(a) && link_up(b);
+}
+
+void Network::send(NodeId src, NodeId dst, int port, std::size_t bytes,
+                   std::shared_ptr<const void> body, SendOptions options) {
+  assert(hosts_.contains(src) && hosts_.contains(dst));
+  Packet packet{src, dst, port, bytes, std::move(body)};
+  transmit(std::move(packet), std::move(options));
+}
+
+void Network::transmit(Packet packet, SendOptions options) {
+  if (packet.src == packet.dst) {
+    // Loopback: skip links and the switch entirely.
+    sim_.schedule_after(10 * sim::kMicrosecond,
+                        [this, packet = std::move(packet),
+                         options = std::move(options)]() mutable {
+                          deliver(packet, options);
+                        });
+    return;
+  }
+  if (!path_up(packet.src, packet.dst)) {
+    if (options.reliable) {
+      flows_.park(packet.src, packet.dst,
+                  FlowTable::PendingSend{std::move(packet), std::move(options.on_refused)});
+    } else {
+      ++dropped_;
+    }
+    return;
+  }
+  // Uplink serialization: the packet leaves once the sender's link is free.
+  sim::Time& free_at = link_free_[packet.src];
+  const sim::Time start = std::max(sim_.now(), free_at);
+  const sim::Time tx = tx_time(packet.bytes);
+  free_at = start + tx;
+  sim::Time arrive = start + tx + params_.base_latency;
+  if (params_.max_jitter > 0) {
+    arrive += rng_.uniform_int(0, params_.max_jitter);
+  }
+  if (options.reliable) {
+    arrive = flows_.sequence(packet.src, packet.dst, arrive);
+  }
+  sim_.schedule_at(arrive, [this, packet = std::move(packet),
+                            options = std::move(options)]() mutable {
+    deliver(packet, options);
+  });
+}
+
+void Network::deliver(const Packet& packet, const SendOptions& options) {
+  Host* dst = hosts_.at(packet.dst);
+  if (dst->state() == Host::State::kDown) {
+    // A dead host is *silent*: no RST ever comes back, the sender's TCP
+    // retransmits into the void and its window stays consumed — which is
+    // exactly how a node crash jams its peers' send queues (the paper's
+    // whole-cluster stall applies to crashes too, not just wedges).
+    // Packets are not retransmitted after a reboot: the connections those
+    // bytes belonged to are gone with the old incarnation.
+    ++dropped_;
+    return;
+  }
+  // A packet already in flight when a link fails is small (sub-millisecond
+  // flight) so we deliver it; real outages last minutes.
+  const bool accepted = dst->deliver(packet);
+  if (accepted) {
+    ++delivered_;
+    return;
+  }
+  // Host up but no process owns the port: connection refused.
+  ++dropped_;
+  if (options.reliable && options.on_refused) {
+    // TCP RST comes back one latency later.
+    sim_.schedule_after(params_.base_latency, options.on_refused);
+  }
+}
+
+void Network::ping(NodeId src, NodeId dst, sim::Time timeout, PingCallback cb) {
+  assert(hosts_.contains(src) && hosts_.contains(dst));
+  auto shared_cb = std::make_shared<PingCallback>(std::move(cb));
+  auto answered = std::make_shared<bool>(false);
+  const sim::Time rtt = 2 * params_.base_latency + 2 * tx_time(64);
+
+  // Echo request arrives one latency out; the reply needs the reverse path
+  // up as well and the host answering (up, not frozen, not down).
+  sim_.schedule_after(params_.base_latency, [this, src, dst, rtt, shared_cb,
+                                             answered] {
+    if (!path_up(src, dst)) return;          // request or reply lost
+    Host* target = hosts_.at(dst);
+    if (target->state() != Host::State::kUp) return;  // no echo from a dead host
+    sim_.schedule_after(rtt / 2, [shared_cb, answered] {
+      if (*answered) return;
+      *answered = true;
+      (*shared_cb)(true);
+    });
+  });
+  sim_.schedule_after(timeout, [shared_cb, answered] {
+    if (*answered) return;
+    *answered = true;
+    (*shared_cb)(false);
+  });
+}
+
+void Network::multicast_join(int group, NodeId id) { groups_[group].insert(id); }
+
+void Network::multicast_leave(int group, NodeId id) {
+  auto it = groups_.find(group);
+  if (it != groups_.end()) it->second.erase(id);
+}
+
+void Network::multicast(NodeId src, int group, int port, std::size_t bytes,
+                        std::shared_ptr<const void> body) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  for (NodeId member : it->second) {
+    if (member == src) continue;
+    Packet packet{src, member, port, bytes, body};
+    transmit(std::move(packet), SendOptions{});
+  }
+}
+
+void Network::set_link_up(NodeId id, bool up) {
+  const bool was = link_up(id);
+  link_up_[id] = up;
+  if (up && !was && switch_up_) {
+    flush(flows_.take_parked_touching(id));
+  }
+}
+
+void Network::set_switch_up(bool up) {
+  const bool was = switch_up_;
+  switch_up_ = up;
+  if (up && !was) {
+    flush(flows_.take_all_parked());
+  }
+}
+
+void Network::flush(std::vector<FlowTable::PendingSend> parked) {
+  for (auto& p : parked) {
+    SendOptions options;
+    options.reliable = true;
+    options.on_refused = std::move(p.on_refused);
+    transmit(std::move(p.packet), std::move(options));
+  }
+}
+
+}  // namespace availsim::net

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "availsim/net/channel.hpp"
+#include "availsim/net/host.hpp"
+#include "availsim/net/packet.hpp"
+#include "availsim/sim/rng.hpp"
+#include "availsim/sim/simulator.hpp"
+
+namespace availsim::net {
+
+struct NetworkParams {
+  std::string name = "net";
+  /// One-way propagation + protocol latency per hop.
+  sim::Time base_latency = 100 * sim::kMicrosecond;
+  /// Per-link serialization bandwidth in bits per second (cLAN ~1 Gb/s).
+  double bandwidth_bps = 1e9;
+  /// Random jitter added to each delivery (breaks event phase-locking).
+  sim::Time max_jitter = 20 * sim::kMicrosecond;
+};
+
+/// A switched LAN: every attached host has one link to a single switch.
+///
+/// The testbed instantiates two Networks over the same Host objects — the
+/// intra-cluster fabric and the client-facing fabric — reproducing the
+/// Mendosus property that intra-cluster faults (link down, switch down)
+/// never disturb client traffic.
+///
+/// Fault surface: per-host link up/down, switch up/down. Host up/frozen/
+/// down state lives on the shared Host objects.
+struct SendOptions {
+  /// Reliable ("TCP") flows: park while the path is down, preserve order,
+  /// and report refusal (destination down / port unbound) to the sender.
+  bool reliable = false;
+  /// Fired (asynchronously) when a reliable packet is refused.
+  std::function<void()> on_refused;
+};
+
+class Network {
+ public:
+  using SendOptions = net::SendOptions;
+
+  /// Ping outcome callback: `ok` is true iff an echo reply came back.
+  using PingCallback = std::function<void(bool ok)>;
+
+  Network(sim::Simulator& simulator, sim::Rng rng, NetworkParams params);
+
+  const std::string& name() const { return params_.name; }
+
+  /// Attaches a host; its link starts up.
+  void attach(Host& host);
+  bool attached(NodeId id) const { return hosts_.contains(id); }
+  Host& host(NodeId id) { return *hosts_.at(id); }
+
+  void send(NodeId src, NodeId dst, int port, std::size_t bytes,
+            std::shared_ptr<const void> body,
+            SendOptions options = SendOptions());
+
+  /// ICMP-style echo: answered by the host itself (not a process) iff the
+  /// host is up and reachable; `cb(true)` on reply, `cb(false)` after
+  /// `timeout` with no reply.
+  void ping(NodeId src, NodeId dst, sim::Time timeout, PingCallback cb);
+
+  /// IP multicast: delivered (datagram semantics) to every subscribed,
+  /// reachable host except the sender.
+  void multicast_join(int group, NodeId id);
+  void multicast_leave(int group, NodeId id);
+  void multicast(NodeId src, int group, int port, std::size_t bytes,
+                 std::shared_ptr<const void> body);
+
+  /// --- fault hooks ---
+  void set_link_up(NodeId id, bool up);
+  void set_switch_up(bool up);
+  bool link_up(NodeId id) const;
+  bool switch_up() const { return switch_up_; }
+
+  /// True iff packets can currently move from a to b (links + switch).
+  /// Host process state is not part of the path; a packet to a down host
+  /// is refused at delivery, as in a real LAN.
+  bool path_up(NodeId a, NodeId b) const;
+
+  /// Diagnostics.
+  std::uint64_t packets_delivered() const { return delivered_; }
+  std::uint64_t packets_dropped() const { return dropped_; }
+  std::size_t parked_reliable() const { return flows_.parked_count(); }
+
+ private:
+  void transmit(Packet packet, SendOptions options);
+  void deliver(const Packet& packet, const SendOptions& options);
+  void flush(std::vector<FlowTable::PendingSend> parked);
+  sim::Time tx_time(std::size_t bytes) const;
+
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  NetworkParams params_;
+  std::unordered_map<NodeId, Host*> hosts_;
+  std::unordered_map<NodeId, bool> link_up_;
+  std::unordered_map<NodeId, sim::Time> link_free_;  // uplink serialization
+  std::unordered_map<int, std::unordered_set<NodeId>> groups_;
+  FlowTable flows_;
+  bool switch_up_ = true;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace availsim::net

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace availsim::net {
+
+/// Identifies a host within the cluster testbed. Ids are dense and assigned
+/// by creation order (back-ends first, then extra node, front-end, clients).
+using NodeId = int;
+inline constexpr NodeId kNoNode = -1;
+
+/// A message in flight. `body` is a type-erased immutable payload; the
+/// receiving protocol knows the concrete type bound to its port and
+/// recovers it with body_as<T>().
+struct Packet {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  int port = 0;
+  std::size_t bytes = 0;
+  std::shared_ptr<const void> body;
+};
+
+template <typename T, typename... Args>
+std::shared_ptr<const void> make_body(Args&&... args) {
+  return std::static_pointer_cast<const void>(
+      std::make_shared<const T>(std::forward<Args>(args)...));
+}
+
+template <typename T>
+const T& body_as(const Packet& p) {
+  return *static_cast<const T*>(p.body.get());
+}
+
+/// Well-known ports. Each subsystem owns a small range so two protocols
+/// never collide on a host's shared port space.
+namespace ports {
+inline constexpr int kIcmpEcho = 1;       // handled by the host itself
+inline constexpr int kPressHttp = 10;     // client HTTP requests
+inline constexpr int kPressIntra = 11;    // forwarded requests
+inline constexpr int kPressHeartbeat = 12;
+inline constexpr int kPressControl = 13;  // exclusion / rejoin control
+inline constexpr int kPressFwdReply = 14;
+inline constexpr int kPressCacheUpdate = 15;
+inline constexpr int kPressSnapshot = 16;
+inline constexpr int kPressFwdAck = 17;
+inline constexpr int kMembership = 20;    // membership daemon heartbeats/2PC
+inline constexpr int kMembershipJoin = 21;
+inline constexpr int kFrontend = 30;      // client->FE requests
+inline constexpr int kMonitor = 31;       // Mon ping replies
+inline constexpr int kClientReply = 40;   // server->client replies
+inline constexpr int kFme = 50;           // FME probe replies
+inline constexpr int kSfme = 51;          // S-FME global monitor reports
+}  // namespace ports
+
+}  // namespace availsim::net

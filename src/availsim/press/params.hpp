@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+
+#include "availsim/disk/disk.hpp"
+#include "availsim/qmon/qmon.hpp"
+#include "availsim/sim/time.hpp"
+
+namespace availsim::press {
+
+/// Configuration of one PRESS server process. Defaults follow the paper's
+/// §5 setup (128 MB cache, 5 s heartbeats, 3-heartbeat tolerance, 512/256/
+/// 128 queue thresholds); the CPU cost model is calibrated so that the
+/// 4-node cooperative server outperforms the independent one by roughly
+/// the paper's factor of 3.
+struct PressParams {
+  /// How cluster membership is maintained.
+  enum class Membership {
+    kNone,          // INDEP: no cooperation, no membership
+    kInternalRing,  // base PRESS: heartbeat ring + rejoin broadcast
+    kExternal,      // robust membership service drives NodeIn/NodeOut
+  };
+
+  Membership membership = Membership::kInternalRing;
+  /// Cooperative caching/forwarding on? (false = INDEP serving)
+  bool cooperative = true;
+
+  // --- memory & files ---
+  std::size_t cache_bytes = 128ull << 20;
+  std::size_t file_bytes = 27 * 1024;
+
+  // --- CPU cost model (per-operation service times on the node's one
+  // coordinating CPU; helper threads are folded into these costs) ---
+  sim::Time cpu_parse = 400 * sim::kMicrosecond;
+  sim::Time cpu_serve_local = 1500 * sim::kMicrosecond;
+  sim::Time cpu_serve_remote = 1100 * sim::kMicrosecond;
+  sim::Time cpu_relay_reply = 500 * sim::kMicrosecond;
+  sim::Time cpu_disk_finish = 600 * sim::kMicrosecond;
+  sim::Time cpu_control = 100 * sim::kMicrosecond;
+
+  // --- disks ---
+  int disk_count = 2;
+  disk::DiskParams disk;
+
+  // --- internal ring membership ---
+  sim::Time heartbeat_period = 5 * sim::kSecond;
+  int heartbeat_tolerance = 3;
+  sim::Time rejoin_retry_period = 10 * sim::kSecond;
+
+  // --- forwarding & queues ---
+  int forward_window = 32;
+  /// Without queue monitoring, a send queue at this size blocks the
+  /// coordinating thread (the paper's cluster-stall mechanism).
+  std::size_t block_queue_capacity = 512;
+  /// Prefer a caching peer unless its load exceeds self*bias + slack.
+  /// Weak gate by design: a remote cache hit beats a local disk read even
+  /// on a busy peer, so PRESS keeps forwarding — which is exactly why a
+  /// wedged peer's send queues build up and stall the cluster.
+  double load_local_bias = 4.0;
+  int load_local_slack = 150;
+  qmon::QmonPolicy qmon;
+  /// Accept-queue admission limit: requests beyond this many in service
+  /// are dropped (the client times out). Keeps overload a graceful
+  /// degradation instead of a congestion collapse — and, because it
+  /// exceeds the disk queue capacity, a *dead* disk still accumulates a
+  /// full queue and wedges the coordinating thread, preserving the
+  /// paper's fault-propagation behaviour.
+  int max_concurrent = 200;
+  /// Blocked coordinating thread retries its pending enqueue this often.
+  sim::Time blocked_retry_period = 100 * sim::kMillisecond;
+
+  /// Requests older than this are shed (client gave up at 6 s).
+  sim::Time request_shed_age = 6 * sim::kSecond;
+};
+
+}  // namespace availsim::press

@@ -1,0 +1,78 @@
+#include "availsim/qmon/qmon.hpp"
+
+#include <utility>
+
+namespace availsim::qmon {
+
+SelfMonitoringQueue::SelfMonitoringQueue(QmonPolicy policy,
+                                         std::size_t block_capacity,
+                                         int window)
+    : policy_(policy), block_capacity_(block_capacity), window_(window) {}
+
+bool SelfMonitoringQueue::over_reroute_threshold() const {
+  return policy_.enabled && queued_requests_ >= policy_.reroute_requests;
+}
+
+bool SelfMonitoringQueue::over_fail_threshold() const {
+  return policy_.enabled && (queued_requests_ >= policy_.fail_requests ||
+                             queue_.size() >= policy_.fail_total);
+}
+
+bool SelfMonitoringQueue::at_block_capacity() const {
+  return queue_.size() >= block_capacity_;
+}
+
+bool SelfMonitoringQueue::admit_probe(sim::Rng& rng) const {
+  return rng.uniform() < policy_.probe_fraction;
+}
+
+SelfMonitoringQueue::PushResult SelfMonitoringQueue::push(Entry entry,
+                                                          sim::Rng& rng) {
+  if (policy_.enabled) {
+    if (entry.is_request && over_reroute_threshold() && !admit_probe(rng)) {
+      return PushResult::kReroute;
+    }
+    // With monitoring the queue never blocks the coordinating thread: it
+    // grows until the fail threshold removes the peer.
+  } else if (at_block_capacity()) {
+    return PushResult::kWouldBlock;
+  }
+  if (entry.is_request) ++queued_requests_;
+  queue_.push_back(std::move(entry));
+  return PushResult::kQueued;
+}
+
+std::optional<SelfMonitoringQueue::Entry>
+SelfMonitoringQueue::pop_transmittable() {
+  if (queue_.empty()) return std::nullopt;
+  const Entry& head = queue_.front();
+  if (head.is_request &&
+      in_flight_.size() >= static_cast<std::size_t>(window_)) {
+    return std::nullopt;  // window closed: wait for credits
+  }
+  Entry out = std::move(queue_.front());
+  queue_.pop_front();
+  if (out.is_request) {
+    --queued_requests_;
+    in_flight_.emplace(out.request_id, true);
+  }
+  return out;
+}
+
+bool SelfMonitoringQueue::credit(std::uint64_t request_id) {
+  return in_flight_.erase(request_id) > 0;
+}
+
+std::vector<std::uint64_t> SelfMonitoringQueue::purge() {
+  std::vector<std::uint64_t> ids;
+  for (const auto& e : queue_) {
+    if (e.is_request) ids.push_back(e.request_id);
+  }
+  for (const auto& [id, b] : in_flight_) ids.push_back(id);
+  queue_.clear();
+  queued_requests_ = 0;
+  in_flight_.clear();
+  return ids;
+}
+
+}  // namespace availsim::qmon

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "availsim/net/packet.hpp"
+#include "availsim/sim/rng.hpp"
+
+namespace availsim::qmon {
+
+/// Queue-monitoring thresholds (paper §4.3 / §5). With monitoring enabled,
+/// a queue reaching `reroute_requests` signals overload (divert most new
+/// traffic but keep probing with a small fraction); reaching
+/// `fail_requests` request messages or `fail_total` messages of all types
+/// declares the peer failed.
+struct QmonPolicy {
+  bool enabled = false;
+  std::size_t reroute_requests = 128;
+  std::size_t fail_requests = 256;
+  std::size_t fail_total = 512;
+  /// Fraction of overload-destined requests still routed to the queue so
+  /// that recovery is noticed ("a small fraction of the requests are still
+  /// routed to it").
+  double probe_fraction = 0.15;
+};
+
+/// A self-monitoring send queue to one cooperating peer.
+///
+/// This is the paper's reusable COTS component: cluster services built as
+/// components connected by queues get failure detection "for free" by
+/// watching their own send queues build up. It also models the TCP-like
+/// flow control that makes queues build at all: at most `window` requests
+/// may be in flight (un-replied) to the peer; a peer that stops making
+/// progress stops producing replies, so the queue grows.
+class SelfMonitoringQueue {
+ public:
+  struct Entry {
+    int port = 0;
+    std::shared_ptr<const void> body;
+    std::size_t bytes = 0;
+    bool is_request = false;
+    std::uint64_t request_id = 0;
+  };
+
+  enum class PushResult {
+    kQueued,    // accepted
+    kReroute,   // monitoring says: send this somewhere else (overload)
+    kWouldBlock  // no monitoring and the queue is at block capacity: the
+                 // caller's coordinating thread must block (base PRESS)
+  };
+
+  SelfMonitoringQueue(QmonPolicy policy, std::size_t block_capacity,
+                      int window);
+
+  /// Offers an entry. Requests are subject to reroute/fail thresholds;
+  /// non-request messages only to total capacity.
+  PushResult push(Entry entry, sim::Rng& rng);
+
+  /// Next entry allowed onto the wire (respecting the in-flight window),
+  /// or nullopt. The caller transmits it and, for requests, later calls
+  /// credit() when the matching reply arrives.
+  std::optional<Entry> pop_transmittable();
+
+  /// A reply for `request_id` arrived: frees a window slot.
+  /// Returns false if the id was not in flight (stale/duplicate).
+  bool credit(std::uint64_t request_id);
+
+  /// Drops everything (queued and in flight); returns the queued request
+  /// ids and in-flight request ids so the owner can fail those requests.
+  std::vector<std::uint64_t> purge();
+
+  /// --- monitoring view ---
+  bool over_reroute_threshold() const;
+  bool over_fail_threshold() const;
+  bool at_block_capacity() const;
+  /// With monitoring on: admit this request despite overload? (probe)
+  bool admit_probe(sim::Rng& rng) const;
+
+  std::size_t queued_requests() const { return queued_requests_; }
+  std::size_t queued_total() const { return queue_.size(); }
+  std::size_t in_flight() const { return in_flight_.size(); }
+  const QmonPolicy& policy() const { return policy_; }
+
+ private:
+  QmonPolicy policy_;
+  std::size_t block_capacity_;
+  int window_;
+  std::deque<Entry> queue_;
+  std::size_t queued_requests_ = 0;
+  std::unordered_map<std::uint64_t, bool> in_flight_;  // request ids
+};
+
+}  // namespace availsim::qmon

@@ -1,0 +1,58 @@
+#include "availsim/sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace availsim::sim {
+
+EventId Simulator::schedule_at(Time t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  return id;
+}
+
+EventId Simulator::schedule_after(Time delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) {
+  if (id != kInvalidEvent) cancelled_.insert(id);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; the handler is moved out before
+    // pop so that events scheduled from inside `fn` are safe.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    assert(ev.t >= now_);
+    now_ = ev.t;
+    ++processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(Time t) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().t <= t) {
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace availsim::sim

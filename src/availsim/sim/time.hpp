@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+namespace availsim::sim {
+
+/// Simulated time in integer nanoseconds since the start of the run.
+///
+/// Integer time keeps the event order fully deterministic across platforms
+/// and gives ~292 years of headroom, far beyond the longest MTTF in the
+/// paper's fault-load table (438 years is only ever used analytically).
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+inline constexpr Time kMinute = 60 * kSecond;
+inline constexpr Time kHour = 60 * kMinute;
+inline constexpr Time kDay = 24 * kHour;
+
+/// Converts a floating-point count of seconds to simulated Time.
+constexpr Time from_seconds(double s) {
+  return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+
+/// Converts simulated Time to floating-point seconds (for reporting).
+constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace availsim::sim

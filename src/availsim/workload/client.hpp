@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "availsim/net/network.hpp"
+#include "availsim/sim/rng.hpp"
+#include "availsim/workload/http.hpp"
+#include "availsim/workload/recorder.hpp"
+#include "availsim/workload/popularity.hpp"
+
+namespace availsim::workload {
+
+/// An open-loop HTTP client: requests arrive as a Poisson process with a
+/// fixed average rate (paper §5) regardless of server state, each request
+/// timing out after 2 s if the connection cannot be established and after
+/// 6 s if, once connected, it is not completed.
+///
+/// Destination selection models round-robin DNS (rotating over the server
+/// list, oblivious to failures) or a front-end VIP (single destination).
+class Client {
+ public:
+  struct Params {
+    double rate = 100.0;  // requests/second from this client host
+    sim::Time connect_timeout = 2 * sim::kSecond;
+    sim::Time completion_timeout = 6 * sim::kSecond;
+    /// Linear warm-up: the offered rate ramps from ~0 to `rate` over this
+    /// period (the paper warms the server to peak over 5 minutes).
+    sim::Time ramp = 0;
+  };
+
+  Client(sim::Simulator& simulator, net::Network& client_net, net::Host& self,
+         sim::Rng rng, Params params, const Popularity& popularity,
+         Recorder& recorder);
+
+  /// Servers (or the front-end VIP) this client rotates over.
+  void set_destinations(std::vector<net::NodeId> destinations, int port);
+
+  void start();
+  void stop();
+
+  std::size_t outstanding() const { return pending_.size(); }
+  std::uint64_t requests_sent() const { return next_request_id_; }
+
+ private:
+  struct Pending {
+    sim::EventId connect_check = sim::kInvalidEvent;
+    sim::EventId completion_timeout = sim::kInvalidEvent;
+    net::NodeId dst = net::kNoNode;
+  };
+
+  void schedule_next_arrival();
+  void send_request();
+  void on_reply(const net::Packet& packet);
+  void fail(std::uint64_t request_id, FailureReason reason);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  net::Host& self_;
+  sim::Rng rng_;
+  Params params_;
+  const Popularity& popularity_;
+  Recorder& recorder_;
+  std::vector<net::NodeId> destinations_;
+  int dst_port_ = net::ports::kPressHttp;
+  std::size_t rr_ = 0;
+  bool running_ = false;
+  std::uint64_t next_request_id_ = 0;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace availsim::workload

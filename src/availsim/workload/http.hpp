@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "availsim/net/packet.hpp"
+#include "availsim/workload/fileset.hpp"
+
+namespace availsim::workload {
+
+/// Client -> server (possibly via the front-end tunnel) request for one
+/// static document.
+struct HttpRequest {
+  FileId file = 0;
+  net::NodeId client = net::kNoNode;
+  std::uint64_t request_id = 0;
+  /// Where the reply should go on the client's host (FME probes use their
+  /// own port; real clients use kClientReply).
+  int reply_port = net::ports::kClientReply;
+  /// Client-side send time; servers shed requests whose client has
+  /// certainly timed out already (the connection is gone).
+  std::int64_t sent_at = 0;
+};
+
+/// Server -> client reply; with LVS IP tunneling the reply goes directly to
+/// the client without revisiting the front-end.
+struct HttpReply {
+  std::uint64_t request_id = 0;
+};
+
+inline constexpr std::size_t kHttpRequestBytes = 300;
+
+}  // namespace availsim::workload

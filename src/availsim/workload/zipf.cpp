@@ -1,0 +1,41 @@
+#include "availsim/workload/zipf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace availsim::workload {
+
+ZipfSampler::ZipfSampler(int n, double s) : s_(s) {
+  assert(n > 0);
+  cdf_.resize(static_cast<std::size_t>(n));
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[static_cast<std::size_t>(i)] = acc;
+  }
+  const double total = acc;
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+FileId ZipfSampler::sample(sim::Rng& rng) const {
+  const double u = rng.uniform();
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<FileId>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(FileId id) const {
+  assert(id >= 0 && id < size());
+  const auto i = static_cast<std::size_t>(id);
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+double ZipfSampler::coverage(int k) const {
+  if (k <= 0) return 0.0;
+  if (k >= size()) return 1.0;
+  return cdf_[static_cast<std::size_t>(k - 1)];
+}
+
+}  // namespace availsim::workload

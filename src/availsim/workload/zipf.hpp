@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "availsim/sim/rng.hpp"
+#include "availsim/workload/popularity.hpp"
+
+namespace availsim::workload {
+
+/// Zipf(s) popularity over a file population, the canonical model for Web
+/// document popularity (the locality that PRESS's cooperative cache
+/// exploits). CDF is precomputed; sampling is O(log n).
+class ZipfSampler final : public Popularity {
+ public:
+  ZipfSampler(int n, double s);
+
+  FileId sample(sim::Rng& rng) const override;
+
+  /// Probability mass of file `id` (rank order: 0 is the most popular).
+  double pmf(FileId id) const;
+
+  /// Fraction of requests covered by the `k` most popular files; used by
+  /// tests and by capacity planning to predict cache hit rates.
+  double coverage(int k) const override;
+
+  int size() const override { return static_cast<int>(cdf_.size()); }
+  double exponent() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace availsim::workload

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "availsim/net/channel.hpp"
+
+namespace availsim::net {
+namespace {
+
+FlowTable::PendingSend make_send(NodeId src, NodeId dst, int tag) {
+  FlowTable::PendingSend s;
+  s.packet.src = src;
+  s.packet.dst = dst;
+  s.packet.port = tag;
+  return s;
+}
+
+TEST(FlowTable, SequencePreservesPerFlowOrder) {
+  FlowTable ft;
+  const sim::Time t1 = ft.sequence(0, 1, 100);
+  const sim::Time t2 = ft.sequence(0, 1, 90);  // would arrive earlier
+  EXPECT_EQ(t1, 100);
+  EXPECT_GT(t2, t1);  // pushed after the previous delivery
+}
+
+TEST(FlowTable, FlowsAreIndependent) {
+  FlowTable ft;
+  ft.sequence(0, 1, 1000);
+  // A different flow is not constrained by (0,1)'s deliveries.
+  EXPECT_EQ(ft.sequence(0, 2, 50), 50);
+  EXPECT_EQ(ft.sequence(1, 0, 50), 50);  // direction matters
+}
+
+TEST(FlowTable, ParkAndTakeTouching) {
+  FlowTable ft;
+  ft.park(0, 1, make_send(0, 1, 1));
+  ft.park(1, 2, make_send(1, 2, 2));
+  ft.park(2, 3, make_send(2, 3, 3));
+  EXPECT_EQ(ft.parked_count(), 3u);
+  auto touching1 = ft.take_parked_touching(1);
+  EXPECT_EQ(touching1.size(), 2u);  // flows (0,1) and (1,2)
+  EXPECT_EQ(ft.parked_count(), 1u);
+}
+
+TEST(FlowTable, TakeAllParkedEmptiesTable) {
+  FlowTable ft;
+  for (int i = 0; i < 5; ++i) ft.park(i, i + 1, make_send(i, i + 1, i));
+  auto all = ft.take_all_parked();
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_EQ(ft.parked_count(), 0u);
+}
+
+TEST(FlowTable, TakeParkedToFiltersByDestination) {
+  FlowTable ft;
+  ft.park(0, 5, make_send(0, 5, 1));
+  ft.park(1, 5, make_send(1, 5, 2));
+  ft.park(0, 6, make_send(0, 6, 3));
+  auto to5 = ft.take_parked_to(5);
+  EXPECT_EQ(to5.size(), 2u);
+  EXPECT_EQ(ft.parked_count(), 1u);
+}
+
+TEST(FlowTable, NegativeNodeIdsDoNotCollide) {
+  // key() packs two 32-bit ids; sign-extension must not alias flows.
+  FlowTable ft;
+  ft.park(-1, 2, make_send(-1, 2, 1));
+  ft.park(1, 2, make_send(1, 2, 2));
+  EXPECT_EQ(ft.take_parked_touching(-1).size(), 1u);
+  EXPECT_EQ(ft.parked_count(), 1u);
+}
+
+}  // namespace
+}  // namespace availsim::net

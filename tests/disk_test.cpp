@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "availsim/disk/disk.hpp"
+#include "availsim/sim/simulator.hpp"
+
+namespace availsim::disk {
+namespace {
+
+DiskParams small_disk() {
+  DiskParams p;
+  p.seek = 8 * sim::kMillisecond;
+  p.bandwidth_bps = 30e6;
+  p.queue_capacity = 4;
+  return p;
+}
+
+TEST(Disk, ServiceTimeIsSeekPlusTransfer) {
+  sim::Simulator sim;
+  Disk d(sim, small_disk());
+  // 27 KB at 30 MB/s ~= 0.92 ms + 8 ms seek.
+  const sim::Time t = d.service_time(27 * 1024);
+  EXPECT_GT(t, 8 * sim::kMillisecond);
+  EXPECT_LT(t, 10 * sim::kMillisecond);
+}
+
+TEST(Disk, CompletesSubmittedOps) {
+  sim::Simulator sim;
+  Disk d(sim, small_disk());
+  int done = 0;
+  EXPECT_TRUE(d.submit(27 * 1024, [&] { ++done; }));
+  EXPECT_TRUE(d.submit(27 * 1024, [&] { ++done; }));
+  sim.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(d.ops_completed(), 2u);
+  EXPECT_EQ(d.queue_depth(), 0u);
+}
+
+TEST(Disk, OpsAreSerializedNotParallel) {
+  sim::Simulator sim;
+  Disk d(sim, small_disk());
+  sim::Time first = -1, second = -1;
+  d.submit(27 * 1024, [&] { first = sim.now(); });
+  d.submit(27 * 1024, [&] { second = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(sim::to_seconds(second), 2 * sim::to_seconds(first), 1e-9);
+}
+
+TEST(Disk, QueueFullRejects) {
+  sim::Simulator sim;
+  Disk d(sim, small_disk());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(d.submit(1024, nullptr));
+  EXPECT_TRUE(d.queue_full());
+  EXPECT_FALSE(d.submit(1024, nullptr));
+  sim.run();
+  EXPECT_EQ(d.ops_completed(), 4u);
+}
+
+TEST(Disk, TimeoutFaultHangsEverything) {
+  sim::Simulator sim;
+  Disk d(sim, small_disk());
+  int done = 0;
+  d.submit(1024, [&] { ++done; });
+  d.submit(1024, [&] { ++done; });
+  sim.schedule_after(sim::kMillisecond, [&] { d.fail_timeout(); });
+  sim.run_until(10 * sim::kSecond);
+  EXPECT_EQ(done, 0);  // the in-flight op was cancelled, nothing completes
+  EXPECT_EQ(d.queue_depth(), 2u);
+}
+
+TEST(Disk, SubmitDuringFaultQueuesUntilFull) {
+  sim::Simulator sim;
+  Disk d(sim, small_disk());
+  d.fail_timeout();
+  EXPECT_TRUE(d.submit(1024, nullptr));
+  EXPECT_TRUE(d.submit(1024, nullptr));
+  EXPECT_TRUE(d.submit(1024, nullptr));
+  EXPECT_TRUE(d.submit(1024, nullptr));
+  EXPECT_FALSE(d.submit(1024, nullptr));  // wedged: queue full
+  EXPECT_TRUE(d.queue_full());
+}
+
+TEST(Disk, RepairDrainsBacklogIncludingInterruptedOp) {
+  sim::Simulator sim;
+  Disk d(sim, small_disk());
+  int done = 0;
+  for (int i = 0; i < 3; ++i) d.submit(1024, [&] { ++done; });
+  sim.schedule_after(sim::kMillisecond, [&] { d.fail_timeout(); });
+  sim.schedule_after(sim::kSecond, [&] { d.repair(); });
+  sim.run();
+  EXPECT_EQ(done, 3);
+}
+
+TEST(Disk, PurgeDropsOpsWithoutCompleting) {
+  sim::Simulator sim;
+  Disk d(sim, small_disk());
+  int done = 0;
+  for (int i = 0; i < 3; ++i) d.submit(1024, [&] { ++done; });
+  d.purge();
+  sim.run();
+  EXPECT_EQ(done, 0);
+  EXPECT_EQ(d.queue_depth(), 0u);
+}
+
+TEST(Disk, RepairWhenHealthyIsNoop) {
+  sim::Simulator sim;
+  Disk d(sim, small_disk());
+  d.repair();
+  int done = 0;
+  d.submit(1024, [&] { ++done; });
+  sim.run();
+  EXPECT_EQ(done, 1);
+}
+
+TEST(Disk, DoubleFaultIsIdempotent) {
+  sim::Simulator sim;
+  Disk d(sim, small_disk());
+  int done = 0;
+  d.submit(1024, [&] { ++done; });
+  d.fail_timeout();
+  d.fail_timeout();
+  d.repair();
+  sim.run();
+  EXPECT_EQ(done, 1);
+}
+
+}  // namespace
+}  // namespace availsim::disk

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "availsim/fault/fault.hpp"
+#include "availsim/fault/injector.hpp"
+#include "availsim/sim/simulator.hpp"
+
+namespace availsim::fault {
+namespace {
+
+class RecordingTarget : public FaultTarget {
+ public:
+  struct Rec {
+    bool repair;
+    FaultType type;
+    int component;
+  };
+  void inject(FaultType type, int component) override {
+    recs.push_back({false, type, component});
+    ++active;
+  }
+  void repair(FaultType type, int component) override {
+    recs.push_back({true, type, component});
+    --active;
+    max_active = std::max(max_active, active + 1);
+  }
+  std::vector<Rec> recs;
+  int active = 0;
+  int max_active = 0;
+};
+
+TEST(FaultLoad, Table1For4Nodes) {
+  auto specs = table1_fault_load(4);
+  ASSERT_EQ(specs.size(), 8u);
+  const auto* scsi = find_spec(specs, FaultType::kScsiTimeout);
+  ASSERT_NE(scsi, nullptr);
+  EXPECT_EQ(scsi->component_count, 8);  // 2 disks x 4 nodes
+  EXPECT_DOUBLE_EQ(scsi->mttf_seconds, 365.0 * 86400);
+  EXPECT_DOUBLE_EQ(scsi->mttr_seconds, 3600.0);
+  const auto* crash = find_spec(specs, FaultType::kNodeCrash);
+  ASSERT_NE(crash, nullptr);
+  EXPECT_EQ(crash->component_count, 4);
+  EXPECT_DOUBLE_EQ(crash->mttf_seconds, 14.0 * 86400);
+  EXPECT_DOUBLE_EQ(crash->mttr_seconds, 180.0);
+  const auto* app = find_spec(specs, FaultType::kAppHang);
+  ASSERT_NE(app, nullptr);
+  EXPECT_DOUBLE_EQ(app->mttf_seconds, 60.0 * 86400);
+  const auto* fe = find_spec(specs, FaultType::kFrontendFailure);
+  ASSERT_NE(fe, nullptr);
+  EXPECT_EQ(fe->component_count, 1);
+}
+
+TEST(FaultLoad, NoFrontendRowWhenAbsent) {
+  auto specs = table1_fault_load(4, 2, /*has_frontend=*/false);
+  EXPECT_EQ(specs.size(), 7u);
+  EXPECT_EQ(find_spec(specs, FaultType::kFrontendFailure), nullptr);
+}
+
+TEST(FaultLoad, ScalesWithClusterSize) {
+  auto s8 = table1_fault_load(8);
+  EXPECT_EQ(find_spec(s8, FaultType::kScsiTimeout)->component_count, 16);
+  EXPECT_EQ(find_spec(s8, FaultType::kNodeFreeze)->component_count, 8);
+  EXPECT_EQ(find_spec(s8, FaultType::kSwitchDown)->component_count, 1);
+}
+
+TEST(FaultTypeNames, AllDistinct) {
+  auto types = all_fault_types();
+  EXPECT_EQ(types.size(), static_cast<size_t>(kFaultTypeCount));
+  std::map<std::string, int> seen;
+  for (auto t : types) seen[to_string(t)]++;
+  for (const auto& [name, n] : seen) EXPECT_EQ(n, 1) << name;
+}
+
+TEST(Injector, ScriptedFaultAndRepairFireOnSchedule) {
+  sim::Simulator sim;
+  RecordingTarget target;
+  FaultInjector inj(sim, target, sim::Rng(1));
+  inj.schedule_fault(10 * sim::kSecond, FaultType::kNodeCrash, 2,
+                     5 * sim::kSecond);
+  sim.run();
+  ASSERT_EQ(target.recs.size(), 2u);
+  EXPECT_FALSE(target.recs[0].repair);
+  EXPECT_EQ(target.recs[0].component, 2);
+  EXPECT_TRUE(target.recs[1].repair);
+  ASSERT_EQ(inj.log().size(), 2u);
+  EXPECT_EQ(inj.log()[0].at, 10 * sim::kSecond);
+  EXPECT_EQ(inj.log()[1].at, 15 * sim::kSecond);
+}
+
+TEST(Injector, OpenEndedFaultRepairedManually) {
+  sim::Simulator sim;
+  RecordingTarget target;
+  FaultInjector inj(sim, target, sim::Rng(1));
+  inj.schedule_fault(sim::kSecond, FaultType::kScsiTimeout, 0);
+  sim.run();
+  EXPECT_EQ(inj.active_faults(), 1);
+  inj.repair_now(FaultType::kScsiTimeout, 0);
+  EXPECT_EQ(inj.active_faults(), 0);
+  ASSERT_EQ(target.recs.size(), 2u);
+  EXPECT_TRUE(target.recs[1].repair);
+}
+
+TEST(Injector, EventObserverFires) {
+  sim::Simulator sim;
+  RecordingTarget target;
+  FaultInjector inj(sim, target, sim::Rng(1));
+  int events = 0;
+  inj.on_event = [&](const FaultInjector::Event&) { ++events; };
+  inj.schedule_fault(sim::kSecond, FaultType::kAppHang, 1, sim::kSecond);
+  sim.run();
+  EXPECT_EQ(events, 2);
+}
+
+TEST(Injector, ExpectedLoadProducesPlausibleFaultCount) {
+  sim::Simulator sim;
+  RecordingTarget target;
+  FaultInjector inj(sim, target, sim::Rng(99));
+  // One component with a 1-hour MTTF over 100 hours -> ~100 faults.
+  std::vector<FaultSpec> specs{{FaultType::kAppCrash, 3600.0, 60.0, 1}};
+  inj.run_expected_load(specs, /*serialize=*/false, 100 * sim::kHour);
+  sim.run_until(100 * sim::kHour);
+  std::size_t injections = 0;
+  for (const auto& ev : inj.log()) injections += !ev.is_repair;
+  EXPECT_GT(injections, 60u);
+  EXPECT_LT(injections, 140u);
+}
+
+TEST(Injector, SerializedLoadNeverOverlapsFaults) {
+  sim::Simulator sim;
+  RecordingTarget target;
+  FaultInjector inj(sim, target, sim::Rng(5));
+  // Aggressive rates to force contention: MTTF 100 s, MTTR 50 s, 4 comps.
+  std::vector<FaultSpec> specs{{FaultType::kNodeCrash, 100.0, 50.0, 4}};
+  inj.run_expected_load(specs, /*serialize=*/true, 2 * sim::kHour);
+  int active = 0, max_active = 0;
+  inj.on_event = [&](const FaultInjector::Event& ev) {
+    active += ev.is_repair ? -1 : 1;
+    max_active = std::max(max_active, active);
+  };
+  sim.run_until(3 * sim::kHour);
+  EXPECT_EQ(max_active, 1);
+  EXPECT_GT(inj.log().size(), 10u);
+}
+
+TEST(Injector, UnserializedLoadCanOverlap) {
+  sim::Simulator sim;
+  RecordingTarget target;
+  FaultInjector inj(sim, target, sim::Rng(5));
+  std::vector<FaultSpec> specs{{FaultType::kNodeCrash, 100.0, 50.0, 4}};
+  inj.run_expected_load(specs, /*serialize=*/false, 2 * sim::kHour);
+  int active = 0, max_active = 0;
+  inj.on_event = [&](const FaultInjector::Event& ev) {
+    active += ev.is_repair ? -1 : 1;
+    max_active = std::max(max_active, active);
+  };
+  sim.run_until(3 * sim::kHour);
+  EXPECT_GT(max_active, 1);
+}
+
+}  // namespace
+}  // namespace availsim::fault

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "availsim/fme/fme.hpp"
+#include "availsim/fme/sfme.hpp"
+#include "availsim/workload/http.hpp"
+
+namespace availsim::fme {
+namespace {
+
+/// A stand-in application that can be healthy, hung, or dead.
+class FakeApp {
+ public:
+  FakeApp(sim::Simulator& simulator, net::Network& net, net::Host& host)
+      : sim_(simulator), net_(net), host_(host) {
+    bind();
+  }
+
+  void bind() {
+    host_.bind(net::ports::kPressHttp, [this](const net::Packet& p) {
+      if (hung) return;  // swallow: probe times out
+      const auto& req = net::body_as<workload::HttpRequest>(p);
+      net_.send(host_.id(), req.client, req.reply_port, 64,
+                net::make_body<workload::HttpReply>(
+                    workload::HttpReply{req.request_id}));
+    });
+  }
+
+  void crash() { host_.unbind(net::ports::kPressHttp); }
+
+  bool hung = false;
+
+ private:
+  sim::Simulator& sim_;
+  net::Network& net_;
+  net::Host& host_;
+};
+
+class FmeFixture : public ::testing::Test {
+ protected:
+  FmeFixture() : net_(sim_, sim::Rng(1), net::NetworkParams{}) {
+    host_ = std::make_unique<net::Host>(sim_, 0, "node");
+    net_.attach(*host_);
+    for (int i = 0; i < 2; ++i) {
+      disks_.push_back(std::make_unique<disk::Disk>(sim_, disk::DiskParams{}));
+    }
+    app_ = std::make_unique<FakeApp>(sim_, net_, *host_);
+    daemon_ = std::make_unique<FmeDaemon>(
+        sim_, net_, *host_, sim::Rng(2), FmeParams{},
+        std::vector<disk::Disk*>{disks_[0].get(), disks_[1].get()});
+    daemon_->take_node_offline = [this] {
+      ++offline_count_;
+      host_->crash();
+      daemon_->on_host_crashed();
+    };
+    daemon_->restart_application = [this] {
+      ++restart_count_;
+      app_->hung = false;
+      app_->bind();
+    };
+    daemon_->start();
+  }
+
+  sim::Simulator sim_;
+  net::Network net_;
+  std::unique_ptr<net::Host> host_;
+  std::vector<std::unique_ptr<disk::Disk>> disks_;
+  std::unique_ptr<FakeApp> app_;
+  std::unique_ptr<FmeDaemon> daemon_;
+  int offline_count_ = 0;
+  int restart_count_ = 0;
+};
+
+TEST_F(FmeFixture, HealthyAppNeverTriggersActions) {
+  sim_.run_until(120 * sim::kSecond);
+  EXPECT_EQ(offline_count_, 0);
+  EXPECT_EQ(restart_count_, 0);
+  EXPECT_GT(daemon_->stats().probes, 20u);
+  EXPECT_EQ(daemon_->stats().probe_failures, 0u);
+}
+
+TEST_F(FmeFixture, HungAppWithHealthyDisksIsRestarted) {
+  sim_.run_until(20 * sim::kSecond);
+  app_->hung = true;
+  sim_.run_until(60 * sim::kSecond);
+  EXPECT_EQ(restart_count_, 1);  // cooldown prevents storms
+  EXPECT_EQ(offline_count_, 0);
+  // Restart converted the hang to a crash-restart; probes pass again.
+  const auto failures = daemon_->stats().probe_failures;
+  sim_.run_until(120 * sim::kSecond);
+  EXPECT_EQ(daemon_->stats().probe_failures, failures);
+}
+
+TEST_F(FmeFixture, CrashedAppIsRestarted) {
+  sim_.run_until(20 * sim::kSecond);
+  app_->crash();
+  sim_.run_until(60 * sim::kSecond);
+  EXPECT_EQ(restart_count_, 1);
+  EXPECT_EQ(offline_count_, 0);
+}
+
+TEST_F(FmeFixture, DeadDiskPlusDeadAppTakesNodeOffline) {
+  sim_.run_until(20 * sim::kSecond);
+  disks_[1]->fail_timeout();
+  app_->hung = true;  // the wedge the dead disk eventually causes
+  sim_.run_until(60 * sim::kSecond);
+  EXPECT_EQ(offline_count_, 1);
+  EXPECT_EQ(restart_count_, 0) << "offline, not restart, for disk faults";
+  EXPECT_EQ(host_->state(), net::Host::State::kDown);
+}
+
+TEST_F(FmeFixture, DeadDiskWithResponsiveAppWaits) {
+  sim_.run_until(20 * sim::kSecond);
+  disks_[0]->fail_timeout();
+  // The app still answers (its working set avoids the dead disk): FME
+  // holds fire until the application actually stops responding.
+  sim_.run_until(60 * sim::kSecond);
+  EXPECT_EQ(offline_count_, 0);
+  app_->hung = true;
+  sim_.run_until(100 * sim::kSecond);
+  EXPECT_EQ(offline_count_, 1);
+}
+
+TEST_F(FmeFixture, RestartCooldownLimitsActions) {
+  sim_.run_until(20 * sim::kSecond);
+  app_->hung = true;
+  // Sabotage the restart so the app stays hung.
+  daemon_->restart_application = [this] {
+    ++restart_count_;
+  };
+  sim_.run_until(50 * sim::kSecond);
+  EXPECT_EQ(restart_count_, 1);
+  sim_.run_until(70 * sim::kSecond);  // past the 30 s cooldown
+  EXPECT_GE(restart_count_, 2);
+  EXPECT_LE(restart_count_, 3);
+}
+
+// ---------------------------------------------------------------------------
+// S-FME
+// ---------------------------------------------------------------------------
+
+class SfmeFixture : public ::testing::Test {
+ protected:
+  SfmeFixture() : monitor_(sim_, SfmeParams{}) {
+    for (int i = 0; i < 4; ++i) {
+      hosts_.push_back(std::make_unique<net::Host>(sim_, i, "n"));
+      boards_.push_back(std::make_unique<membership::MembershipBoard>());
+      boards_.back()->publish({0, 1, 2, 3});
+    }
+    std::vector<SfmeMonitor::NodeInfo> infos;
+    for (int i = 0; i < 4; ++i) {
+      infos.push_back({i, boards_[static_cast<size_t>(i)].get(),
+                       hosts_[static_cast<size_t>(i)].get()});
+    }
+    monitor_.set_nodes(std::move(infos));
+    monitor_.take_node_offline = [this](net::NodeId n) {
+      taken_.push_back(n);
+      hosts_[static_cast<size_t>(n)]->crash();
+    };
+    monitor_.start();
+  }
+
+  sim::Simulator sim_;
+  SfmeMonitor monitor_;
+  std::vector<std::unique_ptr<net::Host>> hosts_;
+  std::vector<std::unique_ptr<membership::MembershipBoard>> boards_;
+  std::vector<net::NodeId> taken_;
+};
+
+TEST_F(SfmeFixture, HealthyGroupUntouched) {
+  sim_.run_until(60 * sim::kSecond);
+  EXPECT_TRUE(taken_.empty());
+}
+
+TEST_F(SfmeFixture, IsolatedButPingableNodeIsTakenOffline) {
+  // The group excluded node 2 (it publishes a singleton view), but the
+  // node itself is up — exactly the front-end blind spot S-FME closes.
+  for (int i = 0; i < 4; ++i) {
+    if (i == 2) {
+      boards_[static_cast<size_t>(i)]->publish({2});
+    } else {
+      boards_[static_cast<size_t>(i)]->publish({0, 1, 3});
+    }
+  }
+  sim_.run_until(30 * sim::kSecond);
+  ASSERT_EQ(taken_.size(), 1u);
+  EXPECT_EQ(taken_[0], 2);
+  EXPECT_EQ(hosts_[2]->state(), net::Host::State::kDown);
+}
+
+TEST_F(SfmeFixture, TransientIsolationIsDebounced) {
+  for (int i = 0; i < 4; ++i) {
+    if (i != 2) boards_[static_cast<size_t>(i)]->publish({0, 1, 3});
+  }
+  // Heal before the confirmation threshold (2 observations at 5 s).
+  sim_.schedule_after(6 * sim::kSecond, [this] {
+    for (int i = 0; i < 4; ++i) {
+      boards_[static_cast<size_t>(i)]->publish({0, 1, 2, 3});
+    }
+  });
+  sim_.run_until(40 * sim::kSecond);
+  EXPECT_TRUE(taken_.empty());
+}
+
+TEST_F(SfmeFixture, DownNodeIsNotActedOn) {
+  hosts_[1]->crash();
+  for (int i = 0; i < 4; ++i) {
+    if (i != 1) boards_[static_cast<size_t>(i)]->publish({0, 2, 3});
+  }
+  sim_.run_until(40 * sim::kSecond);
+  EXPECT_TRUE(taken_.empty());  // already down: nothing to enforce
+}
+
+}  // namespace
+}  // namespace availsim::fme

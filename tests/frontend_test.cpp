@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "availsim/frontend/frontend.hpp"
+#include "availsim/frontend/monitor.hpp"
+#include "availsim/workload/http.hpp"
+
+namespace availsim::frontend {
+namespace {
+
+class FrontendFixture : public ::testing::Test {
+ protected:
+  static constexpr int kBackends = 4;
+
+  FrontendFixture() : net_(sim_, sim::Rng(1), params()) {
+    for (int i = 0; i < kBackends; ++i) {
+      backends_.push_back(std::make_unique<net::Host>(sim_, i, "b"));
+      net_.attach(*backends_.back());
+      received_.push_back(0);
+      const int idx = i;
+      backends_.back()->bind(net::ports::kPressHttp,
+                             [this, idx](const net::Packet&) {
+                               ++received_[static_cast<size_t>(idx)];
+                             });
+    }
+    fe_host_ = std::make_unique<net::Host>(sim_, kBackends, "fe");
+    net_.attach(*fe_host_);
+    client_ = std::make_unique<net::Host>(sim_, kBackends + 1, "client");
+    net_.attach(*client_);
+    fe_ = std::make_unique<Frontend>(sim_, net_, *fe_host_,
+                                     FrontendParams{});
+    fe_->set_backends({0, 1, 2, 3});
+    fe_->start();
+  }
+
+  static net::NetworkParams params() {
+    net::NetworkParams p;
+    p.max_jitter = 0;
+    return p;
+  }
+
+  void send_request(std::uint64_t id = 1) {
+    net_.send(client_->id(), fe_host_->id(), net::ports::kFrontend,
+              workload::kHttpRequestBytes,
+              net::make_body<workload::HttpRequest>(
+                  workload::HttpRequest{0, client_->id(), id}));
+  }
+
+  int total_received() const {
+    int n = 0;
+    for (int r : received_) n += r;
+    return n;
+  }
+
+  sim::Simulator sim_;
+  net::Network net_;
+  std::vector<std::unique_ptr<net::Host>> backends_;
+  std::unique_ptr<net::Host> fe_host_;
+  std::unique_ptr<net::Host> client_;
+  std::unique_ptr<Frontend> fe_;
+  std::vector<int> received_;
+};
+
+TEST_F(FrontendFixture, RoundRobinSpreadsRequests) {
+  for (int i = 0; i < 40; ++i) send_request(static_cast<std::uint64_t>(i));
+  sim_.run();
+  for (int i = 0; i < kBackends; ++i) EXPECT_EQ(received_[static_cast<size_t>(i)], 10);
+  EXPECT_EQ(fe_->forwarded(), 40u);
+}
+
+TEST_F(FrontendFixture, MaskedBackendGetsNothing) {
+  fe_->set_backend_alive(2, false);
+  for (int i = 0; i < 30; ++i) send_request(static_cast<std::uint64_t>(i));
+  sim_.run();
+  EXPECT_EQ(received_[2], 0);
+  EXPECT_EQ(total_received(), 30);
+}
+
+TEST_F(FrontendFixture, UnmaskRestoresRouting) {
+  fe_->set_backend_alive(2, false);
+  fe_->set_backend_alive(2, true);
+  for (int i = 0; i < 40; ++i) send_request(static_cast<std::uint64_t>(i));
+  sim_.run();
+  EXPECT_EQ(received_[2], 10);
+}
+
+TEST_F(FrontendFixture, AllMaskedDropsRequests) {
+  for (int i = 0; i < kBackends; ++i) fe_->set_backend_alive(i, false);
+  for (int i = 0; i < 10; ++i) send_request(static_cast<std::uint64_t>(i));
+  sim_.run();
+  EXPECT_EQ(total_received(), 0);
+  EXPECT_EQ(fe_->dropped(), 10u);
+}
+
+TEST_F(FrontendFixture, CrashedFrontendForwardsNothing) {
+  fe_host_->crash();
+  fe_->on_host_crashed();
+  for (int i = 0; i < 10; ++i) send_request(static_cast<std::uint64_t>(i));
+  sim_.run();
+  EXPECT_EQ(total_received(), 0);
+}
+
+TEST_F(FrontendFixture, RebootAssumesAllAlive) {
+  fe_->set_backend_alive(1, false);
+  fe_host_->crash();
+  fe_->on_host_crashed();
+  fe_host_->reboot();
+  fe_->on_host_rebooted();
+  for (int i = 0; i < 40; ++i) send_request(static_cast<std::uint64_t>(i));
+  sim_.run();
+  EXPECT_EQ(received_[1], 10);  // mask cleared on takeover/restart
+}
+
+// ---------------------------------------------------------------------------
+// Mon / C-MON monitors
+// ---------------------------------------------------------------------------
+
+class MonitorFixture : public ::testing::Test {
+ protected:
+  MonitorFixture() : net_(sim_, sim::Rng(2), params()) {
+    for (int i = 0; i < 3; ++i) {
+      targets_.push_back(std::make_unique<net::Host>(sim_, i, "t"));
+      net_.attach(*targets_.back());
+    }
+    fe_host_ = std::make_unique<net::Host>(sim_, 9, "fe");
+    net_.attach(*fe_host_);
+  }
+
+  static net::NetworkParams params() {
+    net::NetworkParams p;
+    p.max_jitter = 0;
+    return p;
+  }
+
+  std::unique_ptr<Monitor> make(MonitorParams::Mode mode) {
+    MonitorParams p;
+    p.mode = mode;
+    auto mon = std::make_unique<Monitor>(sim_, net_, *fe_host_, sim::Rng(3), p);
+    mon->set_targets({0, 1, 2});
+    mon->on_status = [this](net::NodeId n, bool up) {
+      events_.push_back({sim_.now(), n, up});
+    };
+    mon->start();
+    return mon;
+  }
+
+  struct Event {
+    sim::Time at;
+    net::NodeId node;
+    bool up;
+  };
+
+  sim::Simulator sim_;
+  net::Network net_;
+  std::vector<std::unique_ptr<net::Host>> targets_;
+  std::unique_ptr<net::Host> fe_host_;
+  std::vector<Event> events_;
+};
+
+TEST_F(MonitorFixture, HealthyNodesStayUp) {
+  auto mon = make(MonitorParams::Mode::kPing);
+  sim_.run_until(60 * sim::kSecond);
+  EXPECT_TRUE(events_.empty());
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(mon->is_up(i));
+}
+
+TEST_F(MonitorFixture, PingDetectsNodeCrashWithinThreeProbes) {
+  auto mon = make(MonitorParams::Mode::kPing);
+  sim_.run_until(20 * sim::kSecond);
+  targets_[1]->crash();
+  sim_.run_until(60 * sim::kSecond);
+  ASSERT_EQ(events_.size(), 1u);
+  EXPECT_EQ(events_[0].node, 1);
+  EXPECT_FALSE(events_[0].up);
+  // 3 pings at 5 s plus timeout slack.
+  EXPECT_LT(events_[0].at, 20 * sim::kSecond + 25 * sim::kSecond);
+  EXPECT_FALSE(mon->is_up(1));
+}
+
+TEST_F(MonitorFixture, PingReportsRecovery) {
+  auto mon = make(MonitorParams::Mode::kPing);
+  targets_[0]->crash();
+  sim_.run_until(40 * sim::kSecond);
+  targets_[0]->reboot();
+  sim_.run_until(80 * sim::kSecond);
+  ASSERT_GE(events_.size(), 2u);
+  EXPECT_TRUE(events_.back().up);
+  EXPECT_TRUE(mon->is_up(0));
+}
+
+TEST_F(MonitorFixture, PingCannotSeeDeadProcessOnLiveNode) {
+  auto mon = make(MonitorParams::Mode::kPing);
+  // No process ports bound at all — the node still answers pings.
+  sim_.run_until(60 * sim::kSecond);
+  EXPECT_TRUE(mon->is_up(0));
+}
+
+TEST_F(MonitorFixture, TcpConnectSeesDeadProcess) {
+  targets_[0]->bind(net::ports::kPressHttp, [](const net::Packet&) {});
+  targets_[1]->bind(net::ports::kPressHttp, [](const net::Packet&) {});
+  targets_[2]->bind(net::ports::kPressHttp, [](const net::Packet&) {});
+  auto mon = make(MonitorParams::Mode::kTcpConnect);
+  sim_.run_until(10 * sim::kSecond);
+  EXPECT_TRUE(mon->is_up(1));
+  targets_[1]->unbind(net::ports::kPressHttp);  // app crash
+  sim_.run_until(15 * sim::kSecond);
+  EXPECT_FALSE(mon->is_up(1));
+  // ~2 s detection.
+  ASSERT_FALSE(events_.empty());
+  EXPECT_LT(events_[0].at, 13500 * sim::kMillisecond);
+}
+
+TEST_F(MonitorFixture, TcpConnectSeesFrozenNode) {
+  for (auto& t : targets_) {
+    t->bind(net::ports::kPressHttp, [](const net::Packet&) {});
+  }
+  auto mon = make(MonitorParams::Mode::kTcpConnect);
+  sim_.run_until(10 * sim::kSecond);
+  targets_[2]->freeze();
+  sim_.run_until(14 * sim::kSecond);
+  EXPECT_FALSE(mon->is_up(2));
+}
+
+TEST_F(MonitorFixture, CrashedMonitorStopsProbing) {
+  auto mon = make(MonitorParams::Mode::kPing);
+  sim_.run_until(10 * sim::kSecond);
+  fe_host_->crash();
+  mon->on_host_crashed();
+  targets_[0]->crash();
+  sim_.run_until(60 * sim::kSecond);
+  EXPECT_TRUE(events_.empty());  // no reports from a dead monitor
+}
+
+}  // namespace
+}  // namespace availsim::frontend

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "availsim/model/availability_model.hpp"
+#include "availsim/model/hardware.hpp"
+#include "availsim/model/scaling.hpp"
+#include "availsim/model/template.hpp"
+
+namespace availsim::model {
+namespace {
+
+using fault::FaultType;
+
+StageTemplate simple_template(double t_a, double tput_a) {
+  StageTemplate st;
+  st.t(Stage::kA) = t_a;
+  st.tput(Stage::kA) = tput_a;
+  return st;
+}
+
+FaultTemplate fault_template(FaultType type, double mttf, int n,
+                             StageTemplate st) {
+  FaultTemplate f;
+  f.type = type;
+  f.mttf_seconds = mttf;
+  f.components = n;
+  f.stages = st;
+  return f;
+}
+
+TEST(StageTemplate, LostAndServedRequests) {
+  StageTemplate st;
+  st.t(Stage::kA) = 10;
+  st.tput(Stage::kA) = 0;
+  st.t(Stage::kC) = 100;
+  st.tput(Stage::kC) = 75;
+  const double t0 = 100;
+  EXPECT_DOUBLE_EQ(st.lost_requests(t0), 10 * 100 + 100 * 25);
+  EXPECT_DOUBLE_EQ(st.served_requests(t0), 100 * 75);
+  EXPECT_DOUBLE_EQ(st.total_duration(), 110);
+}
+
+TEST(StageTemplate, OvershootThroughputDoesNotCreateNegativeLoss) {
+  StageTemplate st;
+  st.t(Stage::kD) = 10;
+  st.tput(Stage::kD) = 150;  // backlog catch-up above T0
+  EXPECT_DOUBLE_EQ(st.lost_requests(100), 0);
+  EXPECT_DOUBLE_EQ(st.served_requests(100), 10 * 100);  // capped at T0
+}
+
+TEST(FaultTemplate, UnavailabilityFormula) {
+  // One fault per 1000 s, full outage for 10 s, one component:
+  // U = 10/1000 = 1%.
+  auto f = fault_template(FaultType::kNodeCrash, 1000, 1,
+                          simple_template(10, 0));
+  EXPECT_NEAR(f.unavailability(100), 0.01, 1e-12);
+  // Two components fail independently: 2%.
+  f.components = 2;
+  EXPECT_NEAR(f.unavailability(100), 0.02, 1e-12);
+}
+
+TEST(FaultTemplate, PartialDegradationScalesLoss) {
+  auto f = fault_template(FaultType::kNodeCrash, 1000, 1,
+                          simple_template(10, 75));
+  EXPECT_NEAR(f.unavailability(100), 0.0025, 1e-12);
+}
+
+TEST(SystemModel, FaultFreeSystemIsFullyAvailable) {
+  SystemModel m(100, {});
+  EXPECT_DOUBLE_EQ(m.availability(), 1.0);
+  EXPECT_DOUBLE_EQ(m.average_throughput(), 100.0);
+}
+
+TEST(SystemModel, CombinesIndependentFaultClasses) {
+  std::vector<FaultTemplate> faults;
+  faults.push_back(fault_template(FaultType::kNodeCrash, 1000, 1,
+                                  simple_template(10, 0)));
+  faults.push_back(fault_template(FaultType::kAppCrash, 2000, 1,
+                                  simple_template(10, 50)));
+  SystemModel m(100, faults);
+  // U = 10/1000 + 10*(50/100)/2000 = 0.01 + 0.0025
+  EXPECT_NEAR(m.unavailability(), 0.0125, 1e-12);
+  EXPECT_NEAR(m.average_throughput(), 100 * (1 - 0.0125), 1e-9);
+}
+
+TEST(SystemModel, BreakdownSumsToTotal) {
+  std::vector<FaultTemplate> faults;
+  faults.push_back(fault_template(FaultType::kNodeCrash, 1000, 2,
+                                  simple_template(5, 25)));
+  faults.push_back(fault_template(FaultType::kLinkDown, 500, 4,
+                                  simple_template(3, 60)));
+  SystemModel m(100, faults);
+  double sum = 0;
+  for (const auto& [type, u] : m.unavailability_by_fault()) sum += u;
+  EXPECT_NEAR(sum, m.unavailability(), 1e-12);
+}
+
+TEST(SystemModel, FindLocatesFaultType) {
+  SystemModel m(100, {fault_template(FaultType::kScsiTimeout, 1, 1, {})});
+  EXPECT_NE(m.find(FaultType::kScsiTimeout), nullptr);
+  EXPECT_EQ(m.find(FaultType::kSwitchDown), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Scaling rules (§6.3)
+// ---------------------------------------------------------------------------
+
+TEST(Scaling, ThroughputScalesLinearly) {
+  SystemModel base(100, {});
+  auto scaled = scale_cluster(base, 4, 8);
+  EXPECT_DOUBLE_EQ(scaled.t0(), 200.0);
+}
+
+TEST(Scaling, ComponentCountsScaleExceptSingletons) {
+  std::vector<FaultTemplate> faults;
+  faults.push_back(fault_template(FaultType::kNodeCrash, 1000, 4, {}));
+  faults.push_back(fault_template(FaultType::kSwitchDown, 1000, 1, {}));
+  faults.push_back(fault_template(FaultType::kFrontendFailure, 1000, 1, {}));
+  SystemModel base(100, faults);
+  auto scaled = scale_cluster(base, 4, 16);
+  EXPECT_EQ(scaled.find(FaultType::kNodeCrash)->components, 16);
+  EXPECT_EQ(scaled.find(FaultType::kSwitchDown)->components, 1);
+  EXPECT_EQ(scaled.find(FaultType::kFrontendFailure)->components, 1);
+}
+
+TEST(Scaling, FullStallStaysFullStall) {
+  auto f = fault_template(FaultType::kNodeCrash, 1000, 4,
+                          simple_template(10, 0));
+  SystemModel base(100, {f});
+  auto scaled = scale_cluster(base, 4, 8);
+  EXPECT_DOUBLE_EQ(scaled.find(FaultType::kNodeCrash)->stages.tput(Stage::kA),
+                   0.0);
+}
+
+TEST(Scaling, OneNodeRemovedLevelApproachesNewFraction) {
+  // (N-1)/N = 75% of 100 at 4 nodes -> (kN-1)/kN = 87.5% of 200 at 8.
+  auto f = fault_template(FaultType::kNodeCrash, 1000, 4,
+                          simple_template(10, 75));
+  SystemModel base(100, {f});
+  auto scaled = scale_cluster(base, 4, 8);
+  EXPECT_NEAR(scaled.find(FaultType::kNodeCrash)->stages.tput(Stage::kA),
+              0.875 * 200, 1e-9);
+}
+
+TEST(Scaling, DurationsUnchanged) {
+  auto f = fault_template(FaultType::kNodeCrash, 1000, 4,
+                          simple_template(42, 75));
+  SystemModel base(100, {f});
+  auto scaled = scale_cluster(base, 4, 16);
+  EXPECT_DOUBLE_EQ(scaled.find(FaultType::kNodeCrash)->stages.t(Stage::kA),
+                   42.0);
+}
+
+TEST(Scaling, CoopUnavailabilityGrowsRoughlyLinearly) {
+  // The paper's Figure 10: COOP unavailability doubles at 8 nodes and
+  // doubles again at 16, because every node-scoped fault stalls the whole
+  // cluster and component counts scale.
+  auto f = fault_template(FaultType::kNodeCrash, 1000000, 4,
+                          simple_template(20, 0));
+  SystemModel base(100, {f});
+  const double u4 = base.unavailability();
+  const double u8 = scale_cluster(base, 4, 8).unavailability();
+  const double u16 = scale_cluster(base, 4, 16).unavailability();
+  EXPECT_NEAR(u8 / u4, 2.0, 0.01);
+  EXPECT_NEAR(u16 / u4, 4.0, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Hardware redundancy models
+// ---------------------------------------------------------------------------
+
+TEST(Hardware, CompositeMttfFormula) {
+  // 2 mirrored disks, MTTF 1000 h, MTTR 10 h:
+  // 1000/2 * (1000/10)^1 = 50000 h.
+  EXPECT_NEAR(composite_mttf(1000, 10, 2), 50000, 1e-9);
+  EXPECT_DOUBLE_EQ(composite_mttf(1000, 10, 1), 1000);
+}
+
+TEST(Hardware, RaidScalesScsiMttfOnly) {
+  std::vector<FaultTemplate> faults;
+  faults.push_back(fault_template(FaultType::kScsiTimeout, 100, 8,
+                                  simple_template(10, 0)));
+  faults.push_back(fault_template(FaultType::kNodeCrash, 100, 4,
+                                  simple_template(10, 0)));
+  SystemModel m(100, faults);
+  apply_raid(m);
+  EXPECT_NEAR(m.find(FaultType::kScsiTimeout)->mttf_seconds, 43800, 1e-9);
+  EXPECT_DOUBLE_EQ(m.find(FaultType::kNodeCrash)->mttf_seconds, 100);
+}
+
+TEST(Hardware, BackupSwitchScalesSwitchMttf) {
+  SystemModel m(100, {fault_template(FaultType::kSwitchDown, 100, 1, {})});
+  apply_backup_switch(m);
+  EXPECT_NEAR(m.find(FaultType::kSwitchDown)->mttf_seconds, 4000, 1e-9);
+}
+
+TEST(Hardware, RedundantFrontendShrinksOutageToTakeover) {
+  StageTemplate st;
+  st.t(Stage::kA) = 180;
+  st.tput(Stage::kA) = 0;
+  SystemModel m(100,
+                {fault_template(FaultType::kFrontendFailure, 10000, 1, st)});
+  const double before = m.unavailability();
+  apply_redundant_frontend(m, 10.0);
+  EXPECT_NEAR(m.unavailability(), before * 10.0 / 180.0, 1e-9);
+}
+
+TEST(Hardware, SfmeLiftsDegradedStagesForIsolationFaults) {
+  StageTemplate st;
+  st.t(Stage::kC) = 100;
+  st.tput(Stage::kC) = 40;  // isolated node overloaded: heavy loss
+  SystemModel m(100, {fault_template(FaultType::kLinkDown, 10000, 4, st)});
+  const double before = m.unavailability();
+  apply_sfme(m);
+  EXPECT_LT(m.unavailability(), before);
+  EXPECT_DOUBLE_EQ(m.find(FaultType::kLinkDown)->stages.tput(Stage::kC), 100);
+}
+
+TEST(Hardware, SfmeDoesNotTouchSwitchFaults) {
+  StageTemplate st;
+  st.t(Stage::kC) = 100;
+  st.tput(Stage::kC) = 40;
+  SystemModel m(100, {fault_template(FaultType::kSwitchDown, 10000, 1, st)});
+  const double before = m.unavailability();
+  apply_sfme(m);
+  EXPECT_DOUBLE_EQ(m.unavailability(), before);
+}
+
+TEST(Hardware, CmonShrinksDetectionStage) {
+  StageTemplate st;
+  st.t(Stage::kA) = 15;
+  st.tput(Stage::kA) = 0;
+  SystemModel m(100, {fault_template(FaultType::kNodeCrash, 10000, 4, st)});
+  apply_cmon(m, 2.0);
+  EXPECT_DOUBLE_EQ(m.find(FaultType::kNodeCrash)->stages.t(Stage::kA), 2.0);
+}
+
+TEST(Hardware, CmonNeverLengthensDetection) {
+  StageTemplate st;
+  st.t(Stage::kA) = 1;  // already faster than C-MON
+  SystemModel m(100, {fault_template(FaultType::kAppCrash, 10000, 4, st)});
+  apply_cmon(m, 2.0);
+  EXPECT_DOUBLE_EQ(m.find(FaultType::kAppCrash)->stages.t(Stage::kA), 1.0);
+}
+
+
+TEST(Hardware, OperatorResponseRescalesStageE) {
+  StageTemplate st;
+  st.t(Stage::kE) = 240;
+  st.tput(Stage::kE) = 75;
+  st.t(Stage::kF) = 15;  // operator was needed
+  SystemModel m(100, {fault_template(FaultType::kNodeFreeze, 10000, 4, st)});
+  const double before = m.unavailability();
+  apply_operator_response(m, 2400);
+  EXPECT_NEAR(m.unavailability() / before,
+              (2400 * 25 + 15 * 100.0) / (240 * 25 + 15 * 100.0), 1e-9);
+}
+
+TEST(Hardware, OperatorResponseIgnoresSelfHealingFaults) {
+  StageTemplate st;
+  st.t(Stage::kE) = 240;
+  st.tput(Stage::kE) = 100;  // healthy tail, no operator (t_F == 0)
+  SystemModel m(100, {fault_template(FaultType::kNodeCrash, 10000, 4, st)});
+  apply_operator_response(m, 3600);
+  EXPECT_DOUBLE_EQ(m.find(FaultType::kNodeCrash)->stages.t(Stage::kE), 240);
+}
+
+TEST(TemplateToString, ListsNonEmptyStages) {
+  StageTemplate st;
+  st.t(Stage::kA) = 15;
+  st.tput(Stage::kA) = 10;
+  const std::string s = to_string(st);
+  EXPECT_NE(s.find("A: 15.0s"), std::string::npos);
+  EXPECT_EQ(to_string(StageTemplate{}), "(no degradation)");
+}
+
+}  // namespace
+}  // namespace availsim::model

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "availsim/net/network.hpp"
+#include "availsim/sim/rng.hpp"
+#include "availsim/sim/simulator.hpp"
+
+namespace availsim::net {
+namespace {
+
+struct Probe {
+  int value = 0;
+};
+
+class NetTest : public ::testing::Test {
+ protected:
+  NetTest() : net_(sim_, sim::Rng(1), params()) {
+    for (int i = 0; i < 4; ++i) {
+      hosts_.push_back(std::make_unique<Host>(sim_, i, "n" + std::to_string(i)));
+      net_.attach(*hosts_.back());
+    }
+  }
+
+  static NetworkParams params() {
+    NetworkParams p;
+    p.name = "test";
+    p.base_latency = 100 * sim::kMicrosecond;
+    p.max_jitter = 0;  // deterministic arrival times for assertions
+    return p;
+  }
+
+  void send(NodeId src, NodeId dst, int value, bool reliable = false,
+            std::function<void()> on_refused = nullptr) {
+    Network::SendOptions o;
+    o.reliable = reliable;
+    o.on_refused = std::move(on_refused);
+    net_.send(src, dst, 100, 200, make_body<Probe>(Probe{value}), std::move(o));
+  }
+
+  sim::Simulator sim_;
+  Network net_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+};
+
+TEST_F(NetTest, DeliversToBoundPort) {
+  std::vector<int> got;
+  hosts_[1]->bind(100, [&](const Packet& p) { got.push_back(body_as<Probe>(p).value); });
+  send(0, 1, 7);
+  sim_.run();
+  EXPECT_EQ(got, (std::vector<int>{7}));
+  EXPECT_EQ(net_.packets_delivered(), 1u);
+}
+
+TEST_F(NetTest, DeliveryLatencyIncludesTransmission) {
+  sim::Time arrival = -1;
+  hosts_[1]->bind(100, [&](const Packet&) { arrival = sim_.now(); });
+  send(0, 1, 1);
+  sim_.run();
+  // 200 bytes at 1 Gb/s = 1.6 us tx + 100 us latency.
+  EXPECT_GE(arrival, 100 * sim::kMicrosecond);
+  EXPECT_LE(arrival, 105 * sim::kMicrosecond);
+}
+
+TEST_F(NetTest, DatagramDroppedWhenLinkDown) {
+  bool got = false;
+  hosts_[1]->bind(100, [&](const Packet&) { got = true; });
+  net_.set_link_up(0, false);
+  send(0, 1, 1);
+  sim_.run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(net_.packets_dropped(), 1u);
+}
+
+TEST_F(NetTest, DatagramDroppedWhenSwitchDown) {
+  bool got = false;
+  hosts_[1]->bind(100, [&](const Packet&) { got = true; });
+  net_.set_switch_up(false);
+  send(0, 1, 1);
+  sim_.run();
+  EXPECT_FALSE(got);
+}
+
+TEST_F(NetTest, ReliableParksAcrossLinkOutageAndFlushesOnRepair) {
+  std::vector<int> got;
+  hosts_[1]->bind(100, [&](const Packet& p) { got.push_back(body_as<Probe>(p).value); });
+  net_.set_link_up(1, false);
+  send(0, 1, 1, /*reliable=*/true);
+  send(0, 1, 2, /*reliable=*/true);
+  sim_.run_until(10 * sim::kSecond);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(net_.parked_reliable(), 2u);
+  net_.set_link_up(1, true);
+  sim_.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+  EXPECT_EQ(net_.parked_reliable(), 0u);
+}
+
+TEST_F(NetTest, ReliableParksAcrossSwitchOutage) {
+  std::vector<int> got;
+  hosts_[2]->bind(100, [&](const Packet& p) { got.push_back(body_as<Probe>(p).value); });
+  net_.set_switch_up(false);
+  send(0, 2, 5, true);
+  sim_.run_until(sim::kSecond);
+  EXPECT_TRUE(got.empty());
+  net_.set_switch_up(true);
+  sim_.run();
+  EXPECT_EQ(got, (std::vector<int>{5}));
+}
+
+TEST_F(NetTest, ReliableRefusedWhenPortUnbound) {
+  bool refused = false;
+  send(0, 1, 1, true, [&] { refused = true; });
+  sim_.run();
+  EXPECT_TRUE(refused);
+}
+
+TEST_F(NetTest, ReliableSilentWhenHostDown) {
+  // A down host never answers: no RST, the packet is simply lost (TCP
+  // retransmits until its own timeout; the application sees only silence).
+  hosts_[1]->bind(100, [](const Packet&) {});
+  hosts_[1]->crash();
+  bool refused = false;
+  bool got = false;
+  send(0, 1, 1, true, [&] { refused = true; });
+  sim_.run();
+  EXPECT_FALSE(refused);
+  EXPECT_FALSE(got);
+  EXPECT_EQ(net_.packets_dropped(), 1u);
+}
+
+TEST_F(NetTest, FrozenHostParksAndFlushesOnThaw) {
+  std::vector<int> got;
+  hosts_[1]->bind(100, [&](const Packet& p) { got.push_back(body_as<Probe>(p).value); });
+  hosts_[1]->freeze();
+  send(0, 1, 1);
+  send(0, 1, 2);
+  sim_.run_until(sim::kSecond);
+  EXPECT_TRUE(got.empty());
+  hosts_[1]->unfreeze();
+  sim_.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST_F(NetTest, CrashDropsParkedAndBindings) {
+  std::vector<int> got;
+  hosts_[1]->bind(100, [&](const Packet& p) { got.push_back(body_as<Probe>(p).value); });
+  hosts_[1]->freeze();
+  send(0, 1, 1);
+  sim_.run_until(sim::kSecond);
+  hosts_[1]->crash();
+  hosts_[1]->reboot();
+  sim_.run();
+  EXPECT_TRUE(got.empty());
+  EXPECT_FALSE(hosts_[1]->has_port(100));
+}
+
+TEST_F(NetTest, ReliableInOrderPerFlow) {
+  std::vector<int> got;
+  hosts_[3]->bind(100, [&](const Packet& p) { got.push_back(body_as<Probe>(p).value); });
+  for (int i = 0; i < 50; ++i) send(0, 3, i, true);
+  sim_.run();
+  ASSERT_EQ(got.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
+}
+
+TEST_F(NetTest, PingSucceedsOnHealthyPath) {
+  int ok = -1;
+  net_.ping(0, 1, sim::kSecond, [&](bool r) { ok = r; });
+  sim_.run();
+  EXPECT_EQ(ok, 1);
+}
+
+TEST_F(NetTest, PingTimesOutWhenLinkDown) {
+  net_.set_link_up(1, false);
+  int ok = -1;
+  sim::Time when = -1;
+  net_.ping(0, 1, 15 * sim::kSecond, [&](bool r) {
+    ok = r;
+    when = sim_.now();
+  });
+  sim_.run();
+  EXPECT_EQ(ok, 0);
+  EXPECT_EQ(when, 15 * sim::kSecond);
+}
+
+TEST_F(NetTest, PingTimesOutWhenHostFrozen) {
+  hosts_[2]->freeze();
+  int ok = -1;
+  net_.ping(0, 2, sim::kSecond, [&](bool r) { ok = r; });
+  sim_.run();
+  EXPECT_EQ(ok, 0);
+}
+
+TEST_F(NetTest, PingTimesOutWhenHostDown) {
+  hosts_[2]->crash();
+  int ok = -1;
+  net_.ping(0, 2, sim::kSecond, [&](bool r) { ok = r; });
+  sim_.run();
+  EXPECT_EQ(ok, 0);
+}
+
+TEST_F(NetTest, PingAnswersEvenWhenProcessPortsUnbound) {
+  // A node whose application crashed still answers pings: this is why the
+  // paper's Mon-based front-end cannot see application crashes.
+  int ok = -1;
+  net_.ping(0, 3, sim::kSecond, [&](bool r) { ok = r; });
+  sim_.run();
+  EXPECT_EQ(ok, 1);
+}
+
+TEST_F(NetTest, MulticastReachesSubscribersExceptSender) {
+  std::vector<int> got;
+  for (NodeId n : {0, 1, 2}) {
+    net_.multicast_join(9, n);
+    hosts_[static_cast<size_t>(n)]->bind(
+        100, [&got, n](const Packet&) { got.push_back(n); });
+  }
+  net_.multicast(0, 9, 100, 64, make_body<Probe>(Probe{1}));
+  sim_.run();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST_F(NetTest, MulticastSkipsUnreachableMembers) {
+  std::vector<int> got;
+  for (NodeId n : {0, 1, 2, 3}) {
+    net_.multicast_join(9, n);
+    hosts_[static_cast<size_t>(n)]->bind(
+        100, [&got, n](const Packet&) { got.push_back(n); });
+  }
+  net_.set_link_up(2, false);
+  net_.multicast(0, 9, 100, 64, make_body<Probe>(Probe{1}));
+  sim_.run();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<int>{1, 3}));
+}
+
+TEST_F(NetTest, TwoNetworksShareHostStateButNotLinks) {
+  // The testbed property: the intra-cluster fabric failing does not affect
+  // client-fabric reachability of the same hosts.
+  Network client_net(sim_, sim::Rng(2), params());
+  for (auto& h : hosts_) client_net.attach(*h);
+  net_.set_switch_up(false);  // cluster fabric dies
+  int ok = -1;
+  client_net.ping(0, 1, sim::kSecond, [&](bool r) { ok = r; });
+  sim_.run();
+  EXPECT_EQ(ok, 1);
+}
+
+}  // namespace
+}  // namespace availsim::net

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "availsim/model/predictions.hpp"
+
+namespace availsim::model {
+namespace {
+
+using fault::FaultType;
+
+/// A COOP-shaped base model: detection ~16 s stall, degraded 75% until
+/// repair, splinter until the operator for the unmodeled faults.
+SystemModel coop_like() {
+  const double t0 = 2000;
+  std::vector<FaultTemplate> faults;
+  auto add = [&](FaultType type, double mttf_d, double mttr_s, int n,
+                 bool splinters) {
+    FaultTemplate f;
+    f.type = type;
+    f.mttf_seconds = mttf_d * 86400;
+    f.mttr_seconds = mttr_s;
+    f.components = n;
+    f.stages.t(Stage::kA) = 16;
+    f.stages.tput(Stage::kA) = 0.1 * t0;
+    f.stages.t(Stage::kB) = 60;
+    f.stages.tput(Stage::kB) = 0.75 * t0;
+    f.stages.t(Stage::kC) = std::max(0.0, mttr_s - 76);
+    f.stages.tput(Stage::kC) = 0.75 * t0;
+    f.stages.t(Stage::kD) = 60;
+    f.stages.tput(Stage::kD) = 0.85 * t0;
+    if (splinters) {
+      f.stages.t(Stage::kE) = 240;
+      f.stages.tput(Stage::kE) = 0.8 * t0;
+      f.stages.t(Stage::kF) = 15;
+      f.stages.tput(Stage::kF) = 0;
+      f.stages.t(Stage::kG) = 120;
+      f.stages.tput(Stage::kG) = 0.7 * t0;
+    }
+    faults.push_back(f);
+  };
+  add(FaultType::kLinkDown, 180, 180, 4, true);
+  add(FaultType::kSwitchDown, 365, 3600, 1, true);
+  add(FaultType::kScsiTimeout, 365, 3600, 8, true);
+  add(FaultType::kNodeCrash, 14, 180, 4, false);
+  add(FaultType::kNodeFreeze, 14, 180, 4, true);
+  add(FaultType::kAppCrash, 60, 180, 4, false);
+  add(FaultType::kAppHang, 60, 180, 4, true);
+  return SystemModel(t0, std::move(faults));
+}
+
+constexpr double kFeMttf = 6 * 30 * 86400.0;
+constexpr double kFeMttr = 180.0;
+
+TEST(Predictions, FexAddsFrontendComponentAndSpare) {
+  SystemModel coop = coop_like();
+  SystemModel fex = predict_fex_from_coop(coop, kFeMttf, kFeMttr);
+  ASSERT_NE(fex.find(FaultType::kFrontendFailure), nullptr);
+  EXPECT_EQ(fex.find(FaultType::kNodeCrash)->components, 5);
+  EXPECT_EQ(fex.find(FaultType::kScsiTimeout)->components, 10);
+  EXPECT_EQ(fex.find(FaultType::kSwitchDown)->components, 1);
+}
+
+TEST(Predictions, FexAloneDoesNotCureTheWedgeFaults) {
+  // The paper's Figure 6 claim: hardware masking alone cannot fix fault
+  // propagation — wedge-class unavailability does not improve.
+  SystemModel coop = coop_like();
+  SystemModel fex = predict_fex_from_coop(coop, kFeMttf, kFeMttr);
+  const auto coop_by = coop.unavailability_by_fault();
+  const auto fex_by = fex.unavailability_by_fault();
+  EXPECT_GE(fex_by.at(FaultType::kScsiTimeout),
+            coop_by.at(FaultType::kScsiTimeout));
+  EXPECT_GE(fex_by.at(FaultType::kAppHang), coop_by.at(FaultType::kAppHang));
+}
+
+TEST(Predictions, MemFixesReachabilityButNotWedges) {
+  SystemModel fex =
+      predict_fex_from_coop(coop_like(), kFeMttf, kFeMttr);
+  SystemModel mem = predict_mem(fex);
+  const auto fex_by = fex.unavailability_by_fault();
+  const auto mem_by = mem.unavailability_by_fault();
+  EXPECT_LT(mem_by.at(FaultType::kLinkDown), fex_by.at(FaultType::kLinkDown));
+  EXPECT_LT(mem_by.at(FaultType::kNodeFreeze),
+            fex_by.at(FaultType::kNodeFreeze));
+  // SCSI gets *worse*: the whole cluster stalls for the full MTTR.
+  EXPECT_GT(mem_by.at(FaultType::kScsiTimeout),
+            fex_by.at(FaultType::kScsiTimeout));
+}
+
+TEST(Predictions, QmonStopsStallsButKeepsOperatorStages) {
+  SystemModel fex =
+      predict_fex_from_coop(coop_like(), kFeMttf, kFeMttr);
+  SystemModel qmon = predict_qmon(fex);
+  const auto fex_by = fex.unavailability_by_fault();
+  const auto qmon_by = qmon.unavailability_by_fault();
+  EXPECT_LT(qmon_by.at(FaultType::kScsiTimeout),
+            fex_by.at(FaultType::kScsiTimeout));
+  // Operator stages survive (no reintegration).
+  EXPECT_GT(qmon.find(FaultType::kScsiTimeout)->stages.t(Stage::kF), 0.0);
+}
+
+TEST(Predictions, MqBeatsBothMemAndQmon) {
+  SystemModel fex =
+      predict_fex_from_coop(coop_like(), kFeMttf, kFeMttr);
+  const double mem_u = predict_mem(fex).unavailability();
+  const double qmon_u = predict_qmon(fex).unavailability();
+  const double mq_u = predict_mq(fex).unavailability();
+  EXPECT_LT(mq_u, mem_u);
+  EXPECT_LT(mq_u, qmon_u);
+}
+
+TEST(Predictions, FmeBeatsMq) {
+  SystemModel fex =
+      predict_fex_from_coop(coop_like(), kFeMttf, kFeMttr);
+  EXPECT_LT(predict_fme(fex).unavailability(),
+            predict_mq(fex).unavailability());
+}
+
+TEST(Predictions, FullChainOrdering) {
+  // The paper's staircase: COOP > MEM/QMON > MQ > FME.
+  SystemModel coop = coop_like();
+  SystemModel fex = predict_fex_from_coop(coop, kFeMttf, kFeMttr);
+  const double coop_u = coop.unavailability();
+  const double mq_u = predict_mq(fex).unavailability();
+  const double fme_u = predict_fme(fex).unavailability();
+  EXPECT_LT(mq_u, coop_u);
+  EXPECT_LT(fme_u, mq_u);
+  // Large reductions, in the spirit of the paper's 87% / 94%.
+  EXPECT_GT(1 - mq_u / coop_u, 0.45);
+  EXPECT_GT(1 - fme_u / coop_u, 0.6);
+}
+
+TEST(Predictions, SwOnlyImprovesCoopWithoutFrontend) {
+  SystemModel coop = coop_like();
+  SystemModel sw = predict_sw_only(coop);
+  EXPECT_LT(sw.unavailability(), coop.unavailability());
+  // No front-end appears out of thin air.
+  EXPECT_EQ(sw.find(FaultType::kFrontendFailure), nullptr);
+  // But the DNS share of a down node is still lost: the crash class keeps
+  // some cost (RR-DNS keeps routing to it).
+  EXPECT_GT(sw.unavailability_by_fault().at(FaultType::kNodeCrash), 0.0);
+}
+
+TEST(Predictions, TransformsNeverIncreaseTotalBeyondInput) {
+  SystemModel fex =
+      predict_fex_from_coop(coop_like(), kFeMttf, kFeMttr);
+  for (const SystemModel& m :
+       {predict_mq(fex), predict_fme(fex)}) {
+    EXPECT_LE(m.unavailability(), fex.unavailability() + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace availsim::model

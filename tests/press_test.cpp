@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include "availsim/press/cache.hpp"
+#include "availsim/press/directory.hpp"
+#include "availsim/qmon/qmon.hpp"
+
+namespace availsim::press {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LruCache
+// ---------------------------------------------------------------------------
+
+TEST(LruCache, CapacityInFiles) {
+  LruCache c(128ull << 20, 27 * 1024);
+  EXPECT_EQ(c.capacity(), (128ull << 20) / (27 * 1024));
+}
+
+TEST(LruCache, InsertAndContains) {
+  LruCache c(4 * 100, 100);  // 4 files
+  EXPECT_TRUE(c.insert(1).empty());
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache c(3 * 100, 100);
+  c.insert(1);
+  c.insert(2);
+  c.insert(3);
+  c.touch(1);  // 2 is now LRU
+  auto evicted = c.insert(4);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 2);
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(4));
+}
+
+TEST(LruCache, ReinsertTouchesInsteadOfDuplicating) {
+  LruCache c(2 * 100, 100);
+  c.insert(1);
+  c.insert(2);
+  EXPECT_TRUE(c.insert(1).empty());  // touch, no eviction
+  auto evicted = c.insert(3);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 2);  // 1 was freshened
+}
+
+TEST(LruCache, TouchMissReturnsFalse) {
+  LruCache c(2 * 100, 100);
+  EXPECT_FALSE(c.touch(9));
+  c.insert(9);
+  EXPECT_TRUE(c.touch(9));
+}
+
+TEST(LruCache, ClearEmpties) {
+  LruCache c(2 * 100, 100);
+  c.insert(1);
+  c.clear();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_FALSE(c.contains(1));
+}
+
+TEST(LruCache, ResidentListsAllFiles) {
+  LruCache c(10 * 100, 100);
+  for (int i = 0; i < 5; ++i) c.insert(i);
+  auto res = c.resident();
+  EXPECT_EQ(res.size(), 5u);
+}
+
+TEST(LruCache, MinimumCapacityOneFile) {
+  LruCache c(10, 100);  // capacity smaller than one file
+  EXPECT_EQ(c.capacity(), 1u);
+  c.insert(1);
+  auto ev = c.insert(2);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0], 1);
+}
+
+// ---------------------------------------------------------------------------
+// Directory
+// ---------------------------------------------------------------------------
+
+TEST(Directory, TracksRemoteCaches) {
+  Directory d;
+  d.node_caches(1, 42);
+  d.node_caches(2, 42);
+  EXPECT_TRUE(d.node_caches_file(1, 42));
+  EXPECT_TRUE(d.node_caches_file(2, 42));
+  d.node_evicts(1, 42);
+  EXPECT_FALSE(d.node_caches_file(1, 42));
+  EXPECT_TRUE(d.node_caches_file(2, 42));
+}
+
+TEST(Directory, BestServiceNodePicksLeastLoaded) {
+  Directory d;
+  d.node_caches(1, 7);
+  d.node_caches(2, 7);
+  d.set_load(1, 10);
+  d.set_load(2, 3);
+  std::unordered_set<net::NodeId> coop{0, 1, 2};
+  auto best = d.best_service_node(7, coop);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, 2);
+}
+
+TEST(Directory, BestServiceNodeHonorsCoopSet) {
+  Directory d;
+  d.node_caches(1, 7);
+  d.set_load(1, 0);
+  std::unordered_set<net::NodeId> coop{0, 2};  // node 1 excluded
+  EXPECT_FALSE(d.best_service_node(7, coop).has_value());
+}
+
+TEST(Directory, UnknownFileHasNoServiceNode) {
+  Directory d;
+  std::unordered_set<net::NodeId> coop{0, 1};
+  EXPECT_FALSE(d.best_service_node(99, coop).has_value());
+}
+
+TEST(Directory, RemoveNodePurgesEverything) {
+  Directory d;
+  d.node_caches(1, 7);
+  d.node_caches(1, 8);
+  d.set_load(1, 5);
+  d.remove_node(1);
+  EXPECT_FALSE(d.node_caches_file(1, 7));
+  EXPECT_EQ(d.load(1), 0);
+  EXPECT_EQ(d.files_known_for(1), 0u);
+}
+
+TEST(Directory, SnapshotInstall) {
+  Directory d;
+  d.install_snapshot(3, {1, 2, 3, 4});
+  EXPECT_EQ(d.files_known_for(3), 4u);
+  EXPECT_TRUE(d.node_caches_file(3, 2));
+}
+
+TEST(Directory, DuplicateCacheAnnouncementIsIdempotent) {
+  Directory d;
+  d.node_caches(1, 7);
+  d.node_caches(1, 7);
+  EXPECT_EQ(d.files_known_for(1), 1u);
+}
+
+}  // namespace
+}  // namespace availsim::press
+
+namespace availsim::qmon {
+namespace {
+
+SelfMonitoringQueue::Entry request_entry(std::uint64_t id) {
+  SelfMonitoringQueue::Entry e;
+  e.is_request = true;
+  e.request_id = id;
+  e.bytes = 128;
+  return e;
+}
+
+SelfMonitoringQueue::Entry update_entry() {
+  SelfMonitoringQueue::Entry e;
+  e.is_request = false;
+  e.bytes = 48;
+  return e;
+}
+
+QmonPolicy enabled_policy() {
+  QmonPolicy p;
+  p.enabled = true;
+  p.reroute_requests = 8;
+  p.fail_requests = 16;
+  p.fail_total = 32;
+  p.probe_fraction = 0.0;  // deterministic: never admit past reroute
+  return p;
+}
+
+TEST(SelfMonitoringQueue, WindowLimitsInFlight) {
+  SelfMonitoringQueue q(QmonPolicy{}, 512, 4);
+  sim::Rng rng(1);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(q.push(request_entry(i), rng),
+              SelfMonitoringQueue::PushResult::kQueued);
+  }
+  int transmitted = 0;
+  while (q.pop_transmittable()) ++transmitted;
+  EXPECT_EQ(transmitted, 4);  // window closed
+  EXPECT_EQ(q.in_flight(), 4u);
+  EXPECT_EQ(q.queued_requests(), 2u);
+}
+
+TEST(SelfMonitoringQueue, CreditOpensWindow) {
+  SelfMonitoringQueue q(QmonPolicy{}, 512, 2);
+  sim::Rng rng(1);
+  for (std::uint64_t i = 0; i < 3; ++i) q.push(request_entry(i), rng);
+  while (q.pop_transmittable()) {
+  }
+  EXPECT_TRUE(q.credit(0));
+  auto e = q.pop_transmittable();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->request_id, 2u);
+  EXPECT_FALSE(q.credit(999));  // unknown id
+}
+
+TEST(SelfMonitoringQueue, NonRequestsBypassWindow) {
+  SelfMonitoringQueue q(QmonPolicy{}, 512, 1);
+  sim::Rng rng(1);
+  q.push(request_entry(1), rng);
+  q.push(request_entry(2), rng);
+  q.push(update_entry(), rng);
+  EXPECT_TRUE(q.pop_transmittable().has_value());   // request 1 (in flight)
+  EXPECT_FALSE(q.pop_transmittable().has_value());  // request 2 blocked
+  // ...but a queued non-request behind a blocked request stays ordered.
+  EXPECT_EQ(q.queued_total(), 2u);
+}
+
+TEST(SelfMonitoringQueue, BlocksAtCapacityWithoutMonitoring) {
+  SelfMonitoringQueue q(QmonPolicy{}, 4, 1);
+  sim::Rng rng(1);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(q.push(request_entry(i), rng),
+              SelfMonitoringQueue::PushResult::kQueued);
+  }
+  EXPECT_EQ(q.push(request_entry(9), rng),
+            SelfMonitoringQueue::PushResult::kWouldBlock);
+}
+
+TEST(SelfMonitoringQueue, ReroutesAboveThresholdWithMonitoring) {
+  SelfMonitoringQueue q(enabled_policy(), 512, 1);
+  sim::Rng rng(1);
+  std::uint64_t id = 0;
+  // Fill to the reroute threshold (window 1: one in flight, rest queued).
+  while (q.queued_requests() < 8) {
+    ASSERT_EQ(q.push(request_entry(id++), rng),
+              SelfMonitoringQueue::PushResult::kQueued);
+    q.pop_transmittable();
+  }
+  EXPECT_TRUE(q.over_reroute_threshold());
+  EXPECT_EQ(q.push(request_entry(id++), rng),
+            SelfMonitoringQueue::PushResult::kReroute);
+}
+
+TEST(SelfMonitoringQueue, ProbeFractionAdmitsSome) {
+  QmonPolicy p = enabled_policy();
+  p.probe_fraction = 1.0;  // always admit (probe)
+  SelfMonitoringQueue q(p, 512, 1);
+  sim::Rng rng(1);
+  std::uint64_t id = 0;
+  while (q.queued_requests() < 10) {
+    ASSERT_EQ(q.push(request_entry(id++), rng),
+              SelfMonitoringQueue::PushResult::kQueued);
+  }
+  EXPECT_TRUE(q.over_reroute_threshold());
+}
+
+TEST(SelfMonitoringQueue, FailThresholdOnRequests) {
+  QmonPolicy p = enabled_policy();
+  p.probe_fraction = 1.0;
+  SelfMonitoringQueue q(p, 512, 1);
+  sim::Rng rng(1);
+  std::uint64_t id = 0;
+  while (q.queued_requests() < 16) q.push(request_entry(id++), rng);
+  EXPECT_TRUE(q.over_fail_threshold());
+}
+
+TEST(SelfMonitoringQueue, FailThresholdOnTotalMessages) {
+  QmonPolicy p = enabled_policy();
+  SelfMonitoringQueue q(p, 512, 4);
+  sim::Rng rng(1);
+  for (int i = 0; i < 32; ++i) q.push(update_entry(), rng);
+  EXPECT_TRUE(q.over_fail_threshold());
+}
+
+TEST(SelfMonitoringQueue, NeverBlocksWithMonitoringEnabled) {
+  QmonPolicy p = enabled_policy();
+  p.probe_fraction = 1.0;
+  SelfMonitoringQueue q(p, 8, 1);  // tiny block capacity, monitoring on
+  sim::Rng rng(1);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_NE(q.push(request_entry(i), rng),
+              SelfMonitoringQueue::PushResult::kWouldBlock);
+  }
+}
+
+TEST(SelfMonitoringQueue, PurgeReturnsAllRequestIds) {
+  SelfMonitoringQueue q(QmonPolicy{}, 512, 2);
+  sim::Rng rng(1);
+  for (std::uint64_t i = 0; i < 5; ++i) q.push(request_entry(i), rng);
+  while (q.pop_transmittable()) {
+  }
+  auto ids = q.purge();
+  EXPECT_EQ(ids.size(), 5u);  // 2 in flight + 3 queued
+  EXPECT_EQ(q.queued_total(), 0u);
+  EXPECT_EQ(q.in_flight(), 0u);
+}
+
+class WindowSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowSweepTest, InFlightNeverExceedsWindow) {
+  const int window = GetParam();
+  SelfMonitoringQueue q(QmonPolicy{}, 4096, window);
+  sim::Rng rng(7);
+  std::uint64_t id = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 10; ++i) q.push(request_entry(id++), rng);
+    while (q.pop_transmittable()) {
+    }
+    ASSERT_LE(q.in_flight(), static_cast<std::size_t>(window));
+    // Credit a random half of the in-flight set.
+    for (std::uint64_t c = 0; c < id; ++c) {
+      if (rng.bernoulli(0.5)) q.credit(c);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweepTest,
+                         ::testing::Values(1, 2, 8, 32, 128));
+
+}  // namespace
+}  // namespace availsim::qmon

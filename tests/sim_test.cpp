@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "availsim/sim/rng.hpp"
+#include "availsim/sim/simulator.hpp"
+#include "availsim/sim/time.hpp"
+
+namespace availsim::sim {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_seconds(0.001), kMillisecond);
+  EXPECT_DOUBLE_EQ(to_seconds(kMinute), 60.0);
+  EXPECT_EQ(kHour, 3600 * kSecond);
+  EXPECT_EQ(kDay, 24 * kHour);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3 * kSecond, [&] { order.push_back(3); });
+  sim.schedule_at(1 * kSecond, [&] { order.push_back(1); });
+  sim.schedule_at(2 * kSecond, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3 * kSecond);
+}
+
+TEST(Simulator, SameTimeEventsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(kSecond, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  Time fired = -1;
+  sim.schedule_at(5 * kSecond, [&] {
+    sim.schedule_after(2 * kSecond, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 7 * kSecond);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  Time fired = -1;
+  sim.schedule_at(kSecond, [&] {
+    sim.schedule_after(-5 * kSecond, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, kSecond);
+}
+
+TEST(Simulator, PastAbsoluteTimeClampsToNow) {
+  Simulator sim;
+  Time fired = -1;
+  sim.schedule_at(10 * kSecond, [&] {
+    sim.schedule_at(2 * kSecond, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 10 * kSecond);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.schedule_at(kSecond, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelInvalidOrFiredIsNoop) {
+  Simulator sim;
+  int count = 0;
+  EventId id = sim.schedule_at(kSecond, [&] { ++count; });
+  sim.run();
+  sim.cancel(id);           // already fired
+  sim.cancel(kInvalidEvent);  // invalid
+  sim.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(42 * kSecond);
+  EXPECT_EQ(sim.now(), 42 * kSecond);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsPending) {
+  Simulator sim;
+  bool early = false, late = false;
+  sim.schedule_at(kSecond, [&] { early = true; });
+  sim.schedule_at(10 * kSecond, [&] { late = true; });
+  sim.run_until(5 * kSecond);
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.now(), 5 * kSecond);
+  sim.run();
+  EXPECT_TRUE(late);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 5; ++i) {
+    sim.schedule_at(i * kSecond, [&] {
+      ++count;
+      if (count == 2) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 2);
+  sim.run();  // resumes
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, EventsScheduledFromHandlersRun) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_after(kMillisecond, recurse);
+  };
+  sim.schedule_after(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.events_processed(), 100u);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndStable) {
+  Rng parent(7);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  Rng c1_again = parent.fork(1);
+  EXPECT_EQ(c1.next_u64(), c1_again.next_u64());
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(13);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 5);
+    lo |= (v == 2);
+    hi |= (v == 5);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+class RngMomentsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngMomentsTest, ExponentialMeanSweep) {
+  const double mean = GetParam();
+  Rng rng(static_cast<std::uint64_t>(mean * 1000) + 1);
+  double sum = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(mean);
+  EXPECT_NEAR(sum / n / mean, 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, RngMomentsTest,
+                         ::testing::Values(0.01, 0.5, 2.0, 60.0, 3600.0));
+
+}  // namespace
+}  // namespace availsim::sim

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "availsim/tier/tier_service.hpp"
+#include "availsim/workload/http.hpp"
+
+namespace availsim::tier {
+namespace {
+
+class TierFixture : public ::testing::Test {
+ protected:
+  TierFixture()
+      : cluster_(sim_, sim::Rng(1), params()),
+        client_net_(sim_, sim::Rng(2), params()) {
+    TierParams tp;
+    tp.db_disk_fraction = 0.0;  // deterministic by default
+    int id = 0;
+    auto add = [&](TierNode::Role role, disk::Disk* d) {
+      hosts_.push_back(std::make_unique<net::Host>(sim_, id++, "t"));
+      cluster_.attach(*hosts_.back());
+      client_net_.attach(*hosts_.back());
+      nodes_.push_back(std::make_unique<TierNode>(
+          sim_, cluster_, client_net_, *hosts_.back(), sim::Rng(5), role, tp,
+          d));
+    };
+    add(TierNode::Role::kWeb, nullptr);
+    add(TierNode::Role::kApp, nullptr);
+    db_disk_ = std::make_unique<disk::Disk>(sim_, tp.db_disk);
+    add(TierNode::Role::kDb, db_disk_.get());
+    nodes_[0]->set_downstream({1});
+    nodes_[1]->set_downstream({2});
+    for (auto& n : nodes_) n->start();
+
+    client_ = std::make_unique<net::Host>(sim_, id, "client");
+    client_net_.attach(*client_);
+    client_->bind(net::ports::kClientReply, [this](const net::Packet& p) {
+      replies_.push_back(net::body_as<workload::HttpReply>(p).request_id);
+    });
+  }
+
+  static net::NetworkParams params() {
+    net::NetworkParams p;
+    p.max_jitter = 0;
+    return p;
+  }
+
+  void request(std::uint64_t id) {
+    workload::HttpRequest r;
+    r.file = 1;
+    r.client = client_->id();
+    r.request_id = id;
+    r.sent_at = sim_.now();
+    net::SendOptions o;
+    o.reliable = true;
+    client_net_.send(client_->id(), 0, ports::kWeb,
+                     workload::kHttpRequestBytes,
+                     net::make_body<workload::HttpRequest>(r), std::move(o));
+  }
+
+  sim::Simulator sim_;
+  net::Network cluster_;
+  net::Network client_net_;
+  std::vector<std::unique_ptr<net::Host>> hosts_;
+  std::vector<std::unique_ptr<TierNode>> nodes_;
+  std::unique_ptr<disk::Disk> db_disk_;
+  std::unique_ptr<net::Host> client_;
+  std::vector<std::uint64_t> replies_;
+};
+
+TEST_F(TierFixture, RequestTraversesAllThreeTiers) {
+  request(1);
+  sim_.run_until(sim::kSecond);
+  ASSERT_EQ(replies_.size(), 1u);
+  EXPECT_EQ(replies_[0], 1u);
+  EXPECT_EQ(nodes_[0]->served(), 1u);
+  EXPECT_EQ(nodes_[1]->served(), 1u);
+  EXPECT_EQ(nodes_[2]->served(), 1u);
+}
+
+TEST_F(TierFixture, ManyRequestsAllComplete) {
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    request(i);
+    sim_.run_until(sim_.now() + 10 * sim::kMillisecond);
+  }
+  sim_.run_until(sim_.now() + sim::kSecond);
+  EXPECT_EQ(replies_.size(), 100u);
+}
+
+TEST_F(TierFixture, DeadAppTierDropsRequests) {
+  nodes_[1]->crash_process();
+  request(1);
+  sim_.run_until(2 * sim::kSecond);
+  EXPECT_TRUE(replies_.empty());
+  // The web node's pending entry is swept once the client deadline passes.
+  sim_.run_until(10 * sim::kSecond);
+  request(2);  // after restart, service resumes
+  nodes_[1]->start();
+  sim_.run_until(sim_.now() + 2 * sim::kSecond);
+  request(3);
+  sim_.run_until(sim_.now() + 2 * sim::kSecond);
+  EXPECT_EQ(replies_.back(), 3u);
+}
+
+TEST_F(TierFixture, HungDbStallsRepliesUntilResume) {
+  nodes_[2]->hang_process();
+  request(1);
+  sim_.run_until(2 * sim::kSecond);
+  EXPECT_TRUE(replies_.empty());
+  nodes_[2]->unhang_process();
+  sim_.run_until(4 * sim::kSecond);
+  EXPECT_EQ(replies_.size(), 1u);  // parked query completed after thaw
+}
+
+TEST_F(TierFixture, StaleRequestsShedAtEveryTier) {
+  workload::HttpRequest r;
+  r.file = 1;
+  r.client = client_->id();
+  r.request_id = 9;
+  sim_.run_until(20 * sim::kSecond);
+  r.sent_at = sim_.now() - 8 * sim::kSecond;
+  net::SendOptions o;
+  o.reliable = true;
+  client_net_.send(client_->id(), 0, ports::kWeb,
+                   workload::kHttpRequestBytes,
+                   net::make_body<workload::HttpRequest>(r), std::move(o));
+  sim_.run_until(sim_.now() + 2 * sim::kSecond);
+  EXPECT_TRUE(replies_.empty());
+}
+
+TEST_F(TierFixture, DbDiskPathServesWhenHealthy) {
+  // Rebuild the DB node with a 100% disk fraction.
+  TierParams tp;
+  tp.db_disk_fraction = 1.0;
+  nodes_[2]->crash_process();
+  TierNode db(sim_, cluster_, client_net_, *hosts_[2], sim::Rng(8),
+              TierNode::Role::kDb, tp, db_disk_.get());
+  db.start();
+  request(1);
+  sim_.run_until(2 * sim::kSecond);
+  ASSERT_EQ(replies_.size(), 1u);
+  EXPECT_EQ(db_disk_->ops_completed(), 1u);
+}
+
+TEST_F(TierFixture, WedgedDbDiskLosesOnlyDiskBoundQueries) {
+  TierParams tp;
+  tp.db_disk_fraction = 1.0;
+  nodes_[2]->crash_process();
+  TierNode db(sim_, cluster_, client_net_, *hosts_[2], sim::Rng(8),
+              TierNode::Role::kDb, tp, db_disk_.get());
+  db.start();
+  db_disk_->fail_timeout();
+  for (std::uint64_t i = 0; i < 10; ++i) request(i);
+  sim_.run_until(8 * sim::kSecond);
+  EXPECT_TRUE(replies_.empty());  // every query needed the dead disk
+}
+
+}  // namespace
+}  // namespace availsim::tier

@@ -1,0 +1,12 @@
+// The umbrella header must compile standalone and expose the main types.
+#include "availsim/availsim.hpp"
+
+#include <gtest/gtest.h>
+
+TEST(Umbrella, ExposesCoreTypes) {
+  availsim::sim::Simulator simulator;
+  availsim::model::SystemModel model(100.0, {});
+  EXPECT_DOUBLE_EQ(model.availability(), 1.0);
+  EXPECT_EQ(availsim::fault::all_fault_types().size(), 8u);
+  EXPECT_EQ(simulator.now(), 0);
+}

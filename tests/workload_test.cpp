@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "availsim/net/network.hpp"
+#include "availsim/workload/client.hpp"
+#include "availsim/workload/recorder.hpp"
+#include "availsim/workload/zipf.hpp"
+
+namespace availsim::workload {
+namespace {
+
+TEST(Zipf, CdfIsNormalized) {
+  ZipfSampler z(1000, 0.8);
+  EXPECT_DOUBLE_EQ(z.coverage(1000), 1.0);
+  EXPECT_GT(z.coverage(10), 10 * z.pmf(999));
+}
+
+TEST(Zipf, HeadIsHeavierThanTail) {
+  ZipfSampler z(10000, 0.8);
+  EXPECT_GT(z.pmf(0), z.pmf(1));
+  EXPECT_GT(z.pmf(1), z.pmf(100));
+  EXPECT_GT(z.coverage(1000), 0.3);  // top 10% carries a big share
+}
+
+TEST(Zipf, SamplingMatchesPmf) {
+  ZipfSampler z(100, 1.0);
+  sim::Rng rng(7);
+  std::vector<int> counts(100, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<size_t>(z.sample(rng))];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), z.pmf(0), 0.01);
+  EXPECT_NEAR(counts[9] / static_cast<double>(n), z.pmf(9), 0.005);
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  ZipfSampler z(50, 0.0);
+  EXPECT_NEAR(z.pmf(0), 0.02, 1e-12);
+  EXPECT_NEAR(z.pmf(49), 0.02, 1e-12);
+}
+
+class ZipfCoverageTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfCoverageTest, CoverageIsMonotone) {
+  ZipfSampler z(5000, GetParam());
+  double prev = 0;
+  for (int k : {1, 10, 100, 1000, 5000}) {
+    const double c = z.coverage(k);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfCoverageTest,
+                         ::testing::Values(0.0, 0.5, 0.75, 1.0, 1.2));
+
+TEST(Recorder, BinsAndWindows) {
+  sim::Simulator sim;
+  Recorder rec(sim);
+  sim.schedule_at(500 * sim::kMillisecond, [&] {
+    rec.record_offered();
+    rec.record_success();
+  });
+  sim.schedule_at(1500 * sim::kMillisecond, [&] {
+    rec.record_offered();
+    rec.record_failure(FailureReason::kCompletionTimeout);
+  });
+  sim.run();
+  EXPECT_EQ(rec.successes_in(0, sim::kSecond), 1u);
+  EXPECT_EQ(rec.successes_in(sim::kSecond, 2 * sim::kSecond), 0u);
+  EXPECT_EQ(rec.offered_in(0, 2 * sim::kSecond), 2u);
+  EXPECT_DOUBLE_EQ(rec.availability(0, 2 * sim::kSecond), 0.5);
+  EXPECT_EQ(rec.failures_by_reason(FailureReason::kCompletionTimeout), 1u);
+  EXPECT_DOUBLE_EQ(rec.mean_throughput(0, 2 * sim::kSecond), 0.5);
+}
+
+TEST(Recorder, EmptyWindowAvailabilityIsOne) {
+  sim::Simulator sim;
+  Recorder rec(sim);
+  EXPECT_DOUBLE_EQ(rec.availability(0, sim::kSecond), 1.0);
+}
+
+class ClientFixture : public ::testing::Test {
+ protected:
+  ClientFixture()
+      : net_(sim_, sim::Rng(1), net_params()),
+        server_(sim_, 0, "server"),
+        client_host_(sim_, 1, "client"),
+        zipf_(100, 0.8),
+        recorder_(sim_) {
+    net_.attach(server_);
+    net_.attach(client_host_);
+    client_ = std::make_unique<Client>(sim_, net_, client_host_, sim::Rng(2),
+                                       params(), zipf_, recorder_);
+    client_->set_destinations({0}, net::ports::kPressHttp);
+  }
+
+  static net::NetworkParams net_params() {
+    net::NetworkParams p;
+    p.max_jitter = 0;
+    return p;
+  }
+
+  static Client::Params params() {
+    Client::Params p;
+    p.rate = 50.0;
+    return p;
+  }
+
+  /// A trivially correct server: echoes a reply for every request.
+  void serve_all() {
+    server_.bind(net::ports::kPressHttp, [this](const net::Packet& p) {
+      const auto& req = net::body_as<HttpRequest>(p);
+      net_.send(0, req.client, net::ports::kClientReply, 27 * 1024,
+                net::make_body<HttpReply>(HttpReply{req.request_id}));
+    });
+  }
+
+  sim::Simulator sim_;
+  net::Network net_;
+  net::Host server_;
+  net::Host client_host_;
+  ZipfSampler zipf_;
+  Recorder recorder_;
+  std::unique_ptr<Client> client_;
+};
+
+TEST_F(ClientFixture, PoissonRateIsApproximatelyHonored) {
+  serve_all();
+  client_->start();
+  sim_.run_until(60 * sim::kSecond);
+  client_->stop();
+  const double rate = recorder_.total_offered() / 60.0;
+  EXPECT_NEAR(rate, 50.0, 5.0);
+  EXPECT_EQ(recorder_.total_failed(), 0u);
+  EXPECT_GT(recorder_.total_success(), 0u);
+}
+
+TEST_F(ClientFixture, DeadProcessYieldsRefusedFailures) {
+  // No handler bound: connection refused, fast-fail.
+  client_->start();
+  sim_.run_until(10 * sim::kSecond);
+  client_->stop();
+  sim_.run_until(20 * sim::kSecond);
+  EXPECT_EQ(recorder_.total_success(), 0u);
+  EXPECT_GT(recorder_.failures_by_reason(FailureReason::kRefused), 0u);
+  EXPECT_EQ(recorder_.failures_by_reason(FailureReason::kCompletionTimeout), 0u);
+}
+
+TEST_F(ClientFixture, UnreachableServerYieldsConnectTimeouts) {
+  serve_all();
+  net_.set_link_up(0, false);
+  client_->start();
+  sim_.run_until(10 * sim::kSecond);
+  client_->stop();
+  sim_.run_until(20 * sim::kSecond);
+  EXPECT_EQ(recorder_.total_success(), 0u);
+  EXPECT_GT(recorder_.failures_by_reason(FailureReason::kConnectTimeout), 0u);
+}
+
+TEST_F(ClientFixture, SilentServerYieldsCompletionTimeouts) {
+  // Handler bound but never replies (hung application).
+  server_.bind(net::ports::kPressHttp, [](const net::Packet&) {});
+  client_->start();
+  sim_.run_until(10 * sim::kSecond);
+  client_->stop();
+  sim_.run_until(20 * sim::kSecond);
+  EXPECT_EQ(recorder_.total_success(), 0u);
+  EXPECT_GT(recorder_.failures_by_reason(FailureReason::kCompletionTimeout), 0u);
+  EXPECT_EQ(client_->outstanding(), 0u);
+}
+
+TEST_F(ClientFixture, RoundRobinSpreadsOverDestinations) {
+  net::Host second(sim_, 2, "server2");
+  net_.attach(second);
+  int to_first = 0, to_second = 0;
+  server_.bind(net::ports::kPressHttp,
+               [&](const net::Packet&) { ++to_first; });
+  second.bind(net::ports::kPressHttp,
+              [&](const net::Packet&) { ++to_second; });
+  client_->set_destinations({0, 2}, net::ports::kPressHttp);
+  client_->start();
+  sim_.run_until(20 * sim::kSecond);
+  client_->stop();
+  EXPECT_NEAR(to_first, to_second, 1);
+}
+
+TEST_F(ClientFixture, RecoveryAfterRepairResumesSuccesses) {
+  serve_all();
+  net_.set_link_up(0, false);
+  client_->start();
+  sim_.run_until(10 * sim::kSecond);
+  net_.set_link_up(0, true);
+  sim_.run_until(30 * sim::kSecond);
+  client_->stop();
+  sim_.run_until(40 * sim::kSecond);
+  EXPECT_GT(recorder_.successes_in(10 * sim::kSecond, 30 * sim::kSecond), 0u);
+}
+
+}  // namespace
+}  // namespace availsim::workload
