@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_indep_vs_coop.dir/fig1a_indep_vs_coop.cpp.o"
+  "CMakeFiles/fig1a_indep_vs_coop.dir/fig1a_indep_vs_coop.cpp.o.d"
+  "fig1a_indep_vs_coop"
+  "fig1a_indep_vs_coop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_indep_vs_coop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1a_indep_vs_coop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1a_indep_vs_coop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_hw_sw_extrapolation.dir/fig1b_hw_sw_extrapolation.cpp.o"
+  "CMakeFiles/fig1b_hw_sw_extrapolation.dir/fig1b_hw_sw_extrapolation.cpp.o.d"
+  "fig1b_hw_sw_extrapolation"
+  "fig1b_hw_sw_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_hw_sw_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

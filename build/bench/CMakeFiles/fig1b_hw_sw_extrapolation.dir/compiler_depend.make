@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1b_hw_sw_extrapolation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_template_demo.dir/fig2_template_demo.cpp.o"
+  "CMakeFiles/fig2_template_demo.dir/fig2_template_demo.cpp.o.d"
+  "fig2_template_demo"
+  "fig2_template_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_template_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

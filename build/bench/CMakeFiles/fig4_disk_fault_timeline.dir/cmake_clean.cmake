@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_disk_fault_timeline.dir/fig4_disk_fault_timeline.cpp.o"
+  "CMakeFiles/fig4_disk_fault_timeline.dir/fig4_disk_fault_timeline.cpp.o.d"
+  "fig4_disk_fault_timeline"
+  "fig4_disk_fault_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_disk_fault_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_hardware_only.dir/fig6_hardware_only.cpp.o"
+  "CMakeFiles/fig6_hardware_only.dir/fig6_hardware_only.cpp.o.d"
+  "fig6_hardware_only"
+  "fig6_hardware_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hardware_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

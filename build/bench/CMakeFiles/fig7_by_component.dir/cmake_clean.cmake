@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_by_component.dir/fig7_by_component.cpp.o"
+  "CMakeFiles/fig7_by_component.dir/fig7_by_component.cpp.o.d"
+  "fig7_by_component"
+  "fig7_by_component.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_by_component.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_other_approaches.dir/fig8_other_approaches.cpp.o"
+  "CMakeFiles/fig8_other_approaches.dir/fig8_other_approaches.cpp.o.d"
+  "fig8_other_approaches"
+  "fig8_other_approaches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_other_approaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_fme_scaling.dir/fig9_fme_scaling.cpp.o"
+  "CMakeFiles/fig9_fme_scaling.dir/fig9_fme_scaling.cpp.o.d"
+  "fig9_fme_scaling"
+  "fig9_fme_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fme_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

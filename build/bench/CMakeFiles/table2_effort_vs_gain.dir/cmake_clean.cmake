@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_effort_vs_gain.dir/table2_effort_vs_gain.cpp.o"
+  "CMakeFiles/table2_effort_vs_gain.dir/table2_effort_vs_gain.cpp.o.d"
+  "table2_effort_vs_gain"
+  "table2_effort_vs_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_effort_vs_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

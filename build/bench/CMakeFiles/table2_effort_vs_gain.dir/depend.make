@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_effort_vs_gain.
+# This may be replaced when dependencies are built.

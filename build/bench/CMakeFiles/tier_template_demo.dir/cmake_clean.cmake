@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tier_template_demo.dir/tier_template_demo.cpp.o"
+  "CMakeFiles/tier_template_demo.dir/tier_template_demo.cpp.o.d"
+  "tier_template_demo"
+  "tier_template_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tier_template_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saturation_probe.dir/saturation_probe.cpp.o"
+  "CMakeFiles/saturation_probe.dir/saturation_probe.cpp.o.d"
+  "saturation_probe"
+  "saturation_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saturation_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/availsim/disk/disk.cpp" "src/CMakeFiles/availsim.dir/availsim/disk/disk.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/disk/disk.cpp.o.d"
+  "/root/repo/src/availsim/fault/fault.cpp" "src/CMakeFiles/availsim.dir/availsim/fault/fault.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/fault/fault.cpp.o.d"
+  "/root/repo/src/availsim/fault/fault_load.cpp" "src/CMakeFiles/availsim.dir/availsim/fault/fault_load.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/fault/fault_load.cpp.o.d"
+  "/root/repo/src/availsim/fault/injector.cpp" "src/CMakeFiles/availsim.dir/availsim/fault/injector.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/fault/injector.cpp.o.d"
+  "/root/repo/src/availsim/fme/fme.cpp" "src/CMakeFiles/availsim.dir/availsim/fme/fme.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/fme/fme.cpp.o.d"
+  "/root/repo/src/availsim/fme/sfme.cpp" "src/CMakeFiles/availsim.dir/availsim/fme/sfme.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/fme/sfme.cpp.o.d"
+  "/root/repo/src/availsim/frontend/frontend.cpp" "src/CMakeFiles/availsim.dir/availsim/frontend/frontend.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/frontend/frontend.cpp.o.d"
+  "/root/repo/src/availsim/frontend/monitor.cpp" "src/CMakeFiles/availsim.dir/availsim/frontend/monitor.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/frontend/monitor.cpp.o.d"
+  "/root/repo/src/availsim/harness/experiment.cpp" "src/CMakeFiles/availsim.dir/availsim/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/harness/experiment.cpp.o.d"
+  "/root/repo/src/availsim/harness/export.cpp" "src/CMakeFiles/availsim.dir/availsim/harness/export.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/harness/export.cpp.o.d"
+  "/root/repo/src/availsim/harness/model_cache.cpp" "src/CMakeFiles/availsim.dir/availsim/harness/model_cache.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/harness/model_cache.cpp.o.d"
+  "/root/repo/src/availsim/harness/report.cpp" "src/CMakeFiles/availsim.dir/availsim/harness/report.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/harness/report.cpp.o.d"
+  "/root/repo/src/availsim/harness/stage_extractor.cpp" "src/CMakeFiles/availsim.dir/availsim/harness/stage_extractor.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/harness/stage_extractor.cpp.o.d"
+  "/root/repo/src/availsim/harness/testbed.cpp" "src/CMakeFiles/availsim.dir/availsim/harness/testbed.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/harness/testbed.cpp.o.d"
+  "/root/repo/src/availsim/membership/client_lib.cpp" "src/CMakeFiles/availsim.dir/availsim/membership/client_lib.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/membership/client_lib.cpp.o.d"
+  "/root/repo/src/availsim/membership/member_server.cpp" "src/CMakeFiles/availsim.dir/availsim/membership/member_server.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/membership/member_server.cpp.o.d"
+  "/root/repo/src/availsim/model/availability_model.cpp" "src/CMakeFiles/availsim.dir/availsim/model/availability_model.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/model/availability_model.cpp.o.d"
+  "/root/repo/src/availsim/model/hardware.cpp" "src/CMakeFiles/availsim.dir/availsim/model/hardware.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/model/hardware.cpp.o.d"
+  "/root/repo/src/availsim/model/predictions.cpp" "src/CMakeFiles/availsim.dir/availsim/model/predictions.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/model/predictions.cpp.o.d"
+  "/root/repo/src/availsim/model/scaling.cpp" "src/CMakeFiles/availsim.dir/availsim/model/scaling.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/model/scaling.cpp.o.d"
+  "/root/repo/src/availsim/model/template.cpp" "src/CMakeFiles/availsim.dir/availsim/model/template.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/model/template.cpp.o.d"
+  "/root/repo/src/availsim/net/channel.cpp" "src/CMakeFiles/availsim.dir/availsim/net/channel.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/net/channel.cpp.o.d"
+  "/root/repo/src/availsim/net/host.cpp" "src/CMakeFiles/availsim.dir/availsim/net/host.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/net/host.cpp.o.d"
+  "/root/repo/src/availsim/net/network.cpp" "src/CMakeFiles/availsim.dir/availsim/net/network.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/net/network.cpp.o.d"
+  "/root/repo/src/availsim/press/cache.cpp" "src/CMakeFiles/availsim.dir/availsim/press/cache.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/press/cache.cpp.o.d"
+  "/root/repo/src/availsim/press/directory.cpp" "src/CMakeFiles/availsim.dir/availsim/press/directory.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/press/directory.cpp.o.d"
+  "/root/repo/src/availsim/press/press_node.cpp" "src/CMakeFiles/availsim.dir/availsim/press/press_node.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/press/press_node.cpp.o.d"
+  "/root/repo/src/availsim/qmon/qmon.cpp" "src/CMakeFiles/availsim.dir/availsim/qmon/qmon.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/qmon/qmon.cpp.o.d"
+  "/root/repo/src/availsim/sim/rng.cpp" "src/CMakeFiles/availsim.dir/availsim/sim/rng.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/sim/rng.cpp.o.d"
+  "/root/repo/src/availsim/sim/simulator.cpp" "src/CMakeFiles/availsim.dir/availsim/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/sim/simulator.cpp.o.d"
+  "/root/repo/src/availsim/tier/tier_service.cpp" "src/CMakeFiles/availsim.dir/availsim/tier/tier_service.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/tier/tier_service.cpp.o.d"
+  "/root/repo/src/availsim/workload/client.cpp" "src/CMakeFiles/availsim.dir/availsim/workload/client.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/workload/client.cpp.o.d"
+  "/root/repo/src/availsim/workload/recorder.cpp" "src/CMakeFiles/availsim.dir/availsim/workload/recorder.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/workload/recorder.cpp.o.d"
+  "/root/repo/src/availsim/workload/trace.cpp" "src/CMakeFiles/availsim.dir/availsim/workload/trace.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/workload/trace.cpp.o.d"
+  "/root/repo/src/availsim/workload/zipf.cpp" "src/CMakeFiles/availsim.dir/availsim/workload/zipf.cpp.o" "gcc" "src/CMakeFiles/availsim.dir/availsim/workload/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

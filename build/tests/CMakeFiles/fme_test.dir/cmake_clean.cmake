@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fme_test.dir/fme_test.cpp.o"
+  "CMakeFiles/fme_test.dir/fme_test.cpp.o.d"
+  "fme_test"
+  "fme_test.pdb"
+  "fme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

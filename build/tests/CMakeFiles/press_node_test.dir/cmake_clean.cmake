@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_node_test.dir/press_node_test.cpp.o"
+  "CMakeFiles/press_node_test.dir/press_node_test.cpp.o.d"
+  "press_node_test"
+  "press_node_test.pdb"
+  "press_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

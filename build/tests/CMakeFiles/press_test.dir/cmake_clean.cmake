@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_test.dir/press_test.cpp.o"
+  "CMakeFiles/press_test.dir/press_test.cpp.o.d"
+  "press_test"
+  "press_test.pdb"
+  "press_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

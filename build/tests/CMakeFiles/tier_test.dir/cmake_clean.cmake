@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tier_test.dir/tier_test.cpp.o"
+  "CMakeFiles/tier_test.dir/tier_test.cpp.o.d"
+  "tier_test"
+  "tier_test.pdb"
+  "tier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
