@@ -16,16 +16,18 @@ sim::Time Disk::service_time(std::size_t bytes) const {
 bool Disk::submit(std::size_t bytes, Completion done) {
   if (queue_full()) return false;
   queue_.push_back(Op{bytes, std::move(done)});
-  if (!busy_ && state_ == State::kOk) start_next();
+  if (!busy_ && state_ != State::kTimeoutFault) start_next();
   return true;
 }
 
 void Disk::start_next() {
-  if (queue_.empty() || busy_ || state_ != State::kOk) return;
+  if (queue_.empty() || busy_ || state_ == State::kTimeoutFault) return;
   busy_ = true;
   inflight_ = std::move(queue_.front());
   queue_.pop_front();
-  inflight_event_ = sim_.schedule_after(service_time(inflight_.bytes), [this] {
+  const sim::Time service = static_cast<sim::Time>(
+      static_cast<double>(service_time(inflight_.bytes)) * slow_factor_);
+  inflight_event_ = sim_.schedule_after(service, [this] {
     busy_ = false;
     inflight_event_ = sim::kInvalidEvent;
     ++completed_;
@@ -50,9 +52,18 @@ void Disk::fail_timeout() {
   }
 }
 
+void Disk::degrade(double factor) {
+  if (state_ == State::kTimeoutFault) return;  // dead beats limping
+  state_ = State::kDegraded;
+  slow_factor_ = factor < 1 ? 1 : factor;
+  // The in-flight op keeps its already-scheduled completion; everything
+  // after it is served at the degraded rate.
+}
+
 void Disk::repair() {
   if (state_ == State::kOk) return;
   state_ = State::kOk;
+  slow_factor_ = 1.0;
   start_next();
 }
 

@@ -21,16 +21,21 @@ struct DiskParams {
   std::size_t queue_capacity = 128;
 };
 
-/// A single queued disk with a SCSI-timeout fault mode.
+/// A single queued disk with a SCSI-timeout fault mode and a gray
+/// degraded-service mode.
 ///
-/// In the fault mode, the in-flight operation and everything queued behind
-/// it hang (no completion and no error, as observed with real SCSI
-/// timeouts). When the hardware is repaired, the backlog drains and
-/// completions fire; whether the *server* recovers at that point depends on
-/// its membership state, not on the disk.
+/// In the timeout fault mode, the in-flight operation and everything
+/// queued behind it hang (no completion and no error, as observed with
+/// real SCSI timeouts). When the hardware is repaired, the backlog drains
+/// and completions fire; whether the *server* recovers at that point
+/// depends on its membership state, not on the disk.
+///
+/// In the degraded mode (media retries, a dying spindle) every operation
+/// completes, but at a fraction of the healthy service rate — the disk is
+/// limping, not dead, so queue-depth detectors tuned for wedges miss it.
 class Disk {
  public:
-  enum class State { kOk, kTimeoutFault };
+  enum class State { kOk, kTimeoutFault, kDegraded };
 
   using Completion = std::function<void()>;
 
@@ -52,8 +57,15 @@ class Disk {
   /// SCSI timeout fault: the disk stops completing operations.
   void fail_timeout();
 
+  /// Gray fault: the disk keeps serving at 1/`factor` of its healthy rate.
+  /// A no-op while a timeout fault is active (dead beats limping).
+  void degrade(double factor);
+
   /// Hardware repaired/replaced: backlog drains normally from here on.
+  /// Clears both the timeout fault and any degradation.
   void repair();
+
+  double slow_factor() const { return slow_factor_; }
 
   /// Drops all queued and in-flight operations without completing them
   /// (used when the owning process is killed/restarted).
@@ -72,6 +84,7 @@ class Disk {
   sim::Simulator& sim_;
   DiskParams params_;
   State state_ = State::kOk;
+  double slow_factor_ = 1.0;
   bool busy_ = false;
   sim::EventId inflight_event_ = sim::kInvalidEvent;
   Op inflight_{};

@@ -12,6 +12,10 @@ const char* to_string(FaultType type) {
     case FaultType::kAppCrash: return "application crash";
     case FaultType::kAppHang: return "application hang";
     case FaultType::kFrontendFailure: return "frontend failure";
+    case FaultType::kLinkLossy: return "lossy link";
+    case FaultType::kLinkFlap: return "flapping link";
+    case FaultType::kNodeSlow: return "limping node";
+    case FaultType::kDiskSlow: return "degraded disk";
   }
   return "unknown";
 }
@@ -20,7 +24,21 @@ std::vector<FaultType> all_fault_types() {
   return {FaultType::kLinkDown,  FaultType::kSwitchDown,
           FaultType::kScsiTimeout, FaultType::kNodeCrash,
           FaultType::kNodeFreeze,  FaultType::kAppCrash,
-          FaultType::kAppHang,     FaultType::kFrontendFailure};
+          FaultType::kAppHang,     FaultType::kFrontendFailure,
+          FaultType::kLinkLossy,   FaultType::kLinkFlap,
+          FaultType::kNodeSlow,    FaultType::kDiskSlow};
+}
+
+bool is_gray_fault(FaultType type) {
+  switch (type) {
+    case FaultType::kLinkLossy:
+    case FaultType::kLinkFlap:
+    case FaultType::kNodeSlow:
+    case FaultType::kDiskSlow:
+      return true;
+    default:
+      return false;
+  }
 }
 
 const FaultSpec* find_spec(const std::vector<FaultSpec>& specs,

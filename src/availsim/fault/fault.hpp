@@ -10,6 +10,13 @@ namespace availsim::fault {
 /// The paper's fault taxonomy (Table 1). "Internal" link/switch faults hit
 /// the intra-cluster fabric only; client traffic is never disturbed by
 /// them (the Mendosus property).
+///
+/// The last four types are *gray* faults: partial/ambiguous failures
+/// outside the paper's designed fault model (lossy heartbeat paths,
+/// flapping links, limping nodes, degraded disks). They are the regime the
+/// paper's negative result points at — faults that are neither up nor
+/// down, which splinter cooperation sets unless the detectors can tell
+/// dead from limping.
 enum class FaultType {
   kLinkDown,
   kSwitchDown,
@@ -19,12 +26,18 @@ enum class FaultType {
   kAppCrash,
   kAppHang,
   kFrontendFailure,
+  // --- gray faults ---
+  kLinkLossy,  // link drops a fraction of packets and adds latency/jitter
+  kLinkFlap,   // link alternates up/down on a duty cycle
+  kNodeSlow,   // limping node: CPU degraded, still answers pings/heartbeats
+  kDiskSlow,   // degraded disk: serves, but at a fraction of its rate
 };
 
-inline constexpr int kFaultTypeCount = 8;
+inline constexpr int kFaultTypeCount = 12;
 
 const char* to_string(FaultType type);
 std::vector<FaultType> all_fault_types();
+bool is_gray_fault(FaultType type);
 
 /// One row of Table 1: a component class with its failure/repair behaviour.
 struct FaultSpec {
@@ -33,6 +46,31 @@ struct FaultSpec {
   double mttr_seconds = 0;
   int component_count = 0;
 };
+
+/// Intensity knobs for the gray fault types. One shared struct keeps every
+/// injection of a given run at the same severity, mirroring how Mendosus
+/// scripts parameterize a fault class once per campaign.
+struct GrayFaultParams {
+  /// kLinkLossy: per-direction packet loss probability on the sick link.
+  double loss_probability = 0.30;
+  /// kLinkLossy: added one-way latency and uniform jitter bound.
+  sim::Time extra_latency = 2 * sim::kMillisecond;
+  sim::Time extra_jitter = 3 * sim::kMillisecond;
+  /// kLinkFlap: duty cycle (starts with the down phase at injection).
+  sim::Time flap_down_time = 10 * sim::kSecond;
+  sim::Time flap_up_time = 20 * sim::kSecond;
+  /// kNodeSlow: multiplier on every CPU service time of the limping node.
+  double node_slow_factor = 20.0;
+  /// kDiskSlow: multiplier on the degraded disk's per-op service time.
+  double disk_slow_factor = 15.0;
+};
+
+/// Gray-fault counterpart of Table 1: per-link lossy/flap episodes, per-
+/// node limping episodes, per-disk degraded episodes. MTTFs are shorter
+/// and MTTRs longer than the crash-style rows because partial failures are
+/// both more frequent and harder to diagnose than clean crashes (MSCS
+/// experience report; iHAC).
+std::vector<FaultSpec> gray_fault_load(int nodes, int disks_per_node = 2);
 
 /// Builds the paper's Table 1 for a cluster of `nodes` back-end nodes.
 /// MTTFs: link 6 months, switch 1 year, SCSI 1 year (per disk), node crash

@@ -28,4 +28,18 @@ std::vector<FaultSpec> table1_fault_load(int nodes, int disks_per_node,
   return specs;
 }
 
+std::vector<FaultSpec> gray_fault_load(int nodes, int disks_per_node) {
+  // Partial failures dominate hard failures in deployed clusters (MSCS
+  // experience report): lossy/flapping episodes arrive weekly per link,
+  // and their repairs are slow because the symptom is ambiguous — nobody
+  // pages for a link that is merely sick.
+  std::vector<FaultSpec> specs;
+  specs.push_back({FaultType::kLinkLossy, kWeek, 10 * kMinute, nodes});
+  specs.push_back({FaultType::kLinkFlap, 2 * kWeek, 5 * kMinute, nodes});
+  specs.push_back({FaultType::kNodeSlow, kWeek, 10 * kMinute, nodes});
+  specs.push_back(
+      {FaultType::kDiskSlow, kMonth, 30 * kMinute, nodes * disks_per_node});
+  return specs;
+}
+
 }  // namespace availsim::fault

@@ -46,7 +46,9 @@ class FaultInjector {
   /// e.g. after the system stabilizes, to compress long MTTRs).
   void schedule_fault(sim::Time at, FaultType type, int component);
 
-  /// Repairs immediately (idempotent with respect to the target's hooks).
+  /// Repairs immediately. Idempotent: repairing a (type, component) pair
+  /// that is not currently faulty is a no-op — no target hook runs and no
+  /// Event is logged (scripted repairs may race the scheduled one).
   void repair_now(FaultType type, int component);
 
   /// Stochastic mode: every component of every spec row fails with
@@ -57,8 +59,23 @@ class FaultInjector {
   void run_expected_load(const std::vector<FaultSpec>& specs, bool serialize,
                          sim::Time horizon);
 
+  /// Correlated-burst mode: bursts arrive with exponential inter-arrival
+  /// of `burst_mttf_seconds`; each burst picks one spec row and injects it
+  /// into *several components simultaneously* (e.g. every link on one
+  /// switch turns lossy at once), repairing them together after the row's
+  /// MTTR. This is the fault regime outside the paper's single-independent-
+  /// fault model that real gray failures produce.
+  struct CorrelatedLoadOptions {
+    double burst_mttf_seconds = 3600.0;
+    /// Components hit per burst; 0 = every component of the chosen row.
+    int burst_width = 0;
+  };
+  void run_correlated_load(const std::vector<FaultSpec>& specs,
+                           CorrelatedLoadOptions options, sim::Time horizon);
+
   const std::vector<Event>& log() const { return log_; }
   int active_faults() const { return active_; }
+  bool is_active(FaultType type, int component) const;
 
   /// Observer fired on every injection/repair (markers for the stage
   /// extractor).
@@ -68,12 +85,18 @@ class FaultInjector {
   void fire(bool is_repair, FaultType type, int component);
   void arm_component(const FaultSpec& spec, int component, bool serialize,
                      sim::Time horizon);
+  void arm_burst(const std::vector<FaultSpec>& specs,
+                 CorrelatedLoadOptions options, sim::Time horizon);
 
   sim::Simulator& sim_;
   FaultTarget& target_;
   sim::Rng rng_;
   std::vector<Event> log_;
   int active_ = 0;
+  // Currently-faulty (type, component) pairs; makes inject/repair
+  // idempotent at the injector so the target hooks never see a double
+  // repair (or double injection) of the same component.
+  std::vector<std::pair<FaultType, int>> active_set_;
   // Deferred stochastic faults waiting for the active one to clear.
   std::vector<std::function<void()>> deferred_;
 };

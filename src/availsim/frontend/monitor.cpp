@@ -57,14 +57,29 @@ void Monitor::arm(net::NodeId target, sim::Time delay) {
 
 void Monitor::probe(net::NodeId target) {
   if (p_.mode == MonitorParams::Mode::kPing) {
-    net_.ping(host_.id(), target, p_.ping_timeout,
-              [this, e = epoch_, target](bool ok) {
-                if (epoch_ != e || !running_) return;
-                record(target, ok);
-              });
+    ping_attempt(target, 0);
   } else {
     record(target, tcp_connect_ok(target));
   }
+}
+
+void Monitor::ping_attempt(net::NodeId target, int attempt) {
+  // Retries use a shorter timeout so the whole retry ladder still fits
+  // well inside one probe period.
+  const sim::Time timeout = attempt == 0 ? p_.ping_timeout : p_.retry_timeout;
+  net_.ping(host_.id(), target, timeout,
+            [this, e = epoch_, target, attempt](bool ok) {
+              if (epoch_ != e || !running_) return;
+              if (!ok && attempt < p_.ping_retries) {
+                const sim::Time backoff = p_.retry_backoff << attempt;
+                sim_.schedule_after(backoff, [this, e, target, attempt] {
+                  if (epoch_ != e || !running_ || !host_ok()) return;
+                  ping_attempt(target, attempt + 1);
+                });
+                return;
+              }
+              record(target, ok);
+            });
 }
 
 bool Monitor::tcp_connect_ok(net::NodeId target) const {

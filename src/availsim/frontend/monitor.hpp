@@ -20,6 +20,14 @@ struct MonitorParams {
   sim::Time ping_timeout = 4 * sim::kSecond;
   sim::Time tcp_period = sim::kSecond;
   int tcp_tolerance = 2;
+  /// --- gray-fault hardening (0 = seed behaviour) ---
+  /// A failed ping is re-tried up to `ping_retries` times, each after
+  /// `retry_backoff` (doubling), with a short `retry_timeout`, before it
+  /// counts as a miss. On a lossy (not dead) link, a probe round almost
+  /// always gets one echo through, so the miss counter stays at zero.
+  int ping_retries = 0;
+  sim::Time retry_backoff = 500 * sim::kMillisecond;
+  sim::Time retry_timeout = sim::kSecond;
 };
 
 /// Mon-style service-monitoring daemon running on the front-end host. It
@@ -56,6 +64,7 @@ class Monitor {
   bool host_ok() const { return host_.state() == net::Host::State::kUp; }
   void arm(net::NodeId target, sim::Time delay);
   void probe(net::NodeId target);
+  void ping_attempt(net::NodeId target, int attempt);
   void record(net::NodeId target, bool ok);
   bool tcp_connect_ok(net::NodeId target) const;
 

@@ -67,6 +67,10 @@ press::PressParams Testbed::press_params_for_config() const {
       p.qmon.enabled = true;
       break;
   }
+  if (opts_.hardened_detectors) {
+    // Slow-peer detection: only meaningful where qmon is on.
+    p.qmon.slow_peer_age = 1500 * sim::kMillisecond;
+  }
   return p;
 }
 
@@ -122,10 +126,12 @@ void Testbed::build() {
 
     if (external_membership) {
       s.board = std::make_unique<membership::MembershipBoard>();
+      membership::MemberServerParams mem_params;
+      mem_params.hardened = opts_.hardened_detectors;
       s.member = std::make_unique<membership::MemberServer>(
           sim_, *cluster_net_, *s.host,
           rng_.fork(200 + static_cast<std::uint64_t>(i)),
-          membership::MemberServerParams{}, *s.board);
+          mem_params, *s.board);
       s.member->on_marker = [this, i](const char* m, net::NodeId about) {
         note(std::string("mem_") + m, about == net::kNoNode ? i : about);
       };
@@ -173,6 +179,7 @@ void Testbed::build() {
     frontend_->set_backends(server_ids);
     frontend::MonitorParams mon_params;
     mon_params.mode = opts_.monitor_mode;
+    if (opts_.hardened_detectors) mon_params.ping_retries = 2;
     monitor_ = std::make_unique<frontend::Monitor>(
         sim_, *client_net_, *fe_host_, rng_.fork(400), mon_params);
     monitor_->set_targets(server_ids);
@@ -284,7 +291,8 @@ void Testbed::inject(fault::FaultType type, int component) {
   Server* s = nullptr;
   if (type != fault::FaultType::kSwitchDown &&
       type != fault::FaultType::kFrontendFailure) {
-    const int node = type == fault::FaultType::kScsiTimeout
+    const int node = (type == fault::FaultType::kScsiTimeout ||
+                      type == fault::FaultType::kDiskSlow)
                          ? component / opts_.press.disk_count
                          : component;
     s = &servers_[static_cast<std::size_t>(node)];
@@ -323,6 +331,22 @@ void Testbed::inject(fault::FaultType type, int component) {
         monitor_->on_host_crashed();
       }
       break;
+    case fault::FaultType::kLinkLossy:
+      cluster_net_->set_link_quality(
+          component, net::LinkQuality{opts_.gray.loss_probability,
+                                      opts_.gray.extra_latency,
+                                      opts_.gray.extra_jitter});
+      break;
+    case fault::FaultType::kLinkFlap:
+      cluster_net_->start_link_flap(component, opts_.gray.flap_down_time,
+                                    opts_.gray.flap_up_time);
+      break;
+    case fault::FaultType::kNodeSlow:
+      s->host->set_slow_factor(opts_.gray.node_slow_factor);
+      break;
+    case fault::FaultType::kDiskSlow:
+      disk(component).degrade(opts_.gray.disk_slow_factor);
+      break;
   }
 }
 
@@ -332,7 +356,8 @@ void Testbed::repair(fault::FaultType type, int component) {
   Server* s = nullptr;
   if (type != fault::FaultType::kSwitchDown &&
       type != fault::FaultType::kFrontendFailure) {
-    const int node = type == fault::FaultType::kScsiTimeout
+    const int node = (type == fault::FaultType::kScsiTimeout ||
+                      type == fault::FaultType::kDiskSlow)
                          ? component / opts_.press.disk_count
                          : component;
     s = &servers_[static_cast<std::size_t>(node)];
@@ -366,6 +391,22 @@ void Testbed::repair(fault::FaultType type, int component) {
         fe_host_->reboot();
         frontend_->on_host_rebooted();
         monitor_->on_host_rebooted();
+      }
+      break;
+    case fault::FaultType::kLinkLossy:
+      cluster_net_->clear_link_quality(component);
+      break;
+    case fault::FaultType::kLinkFlap:
+      cluster_net_->stop_link_flap(component);
+      break;
+    case fault::FaultType::kNodeSlow:
+      s->host->set_slow_factor(1.0);
+      break;
+    case fault::FaultType::kDiskSlow:
+      // Only clear the degradation; a concurrent SCSI timeout (which made
+      // degrade() a no-op) has its own repair.
+      if (disk(component).state() == disk::Disk::State::kDegraded) {
+        disk(component).repair();
       }
       break;
   }
@@ -410,9 +451,13 @@ bool Testbed::node_fault_active(int i) const {
   if (fault_active(fault::FaultType::kNodeCrash, i)) return true;
   if (fault_active(fault::FaultType::kNodeFreeze, i)) return true;
   if (fault_active(fault::FaultType::kLinkDown, i)) return true;
+  if (fault_active(fault::FaultType::kLinkLossy, i)) return true;
+  if (fault_active(fault::FaultType::kLinkFlap, i)) return true;
+  if (fault_active(fault::FaultType::kNodeSlow, i)) return true;
   const int per_node = opts_.press.disk_count;
   for (int d = 0; d < per_node; ++d) {
-    if (fault_active(fault::FaultType::kScsiTimeout, i * per_node + d)) {
+    if (fault_active(fault::FaultType::kScsiTimeout, i * per_node + d) ||
+        fault_active(fault::FaultType::kDiskSlow, i * per_node + d)) {
       return true;
     }
   }

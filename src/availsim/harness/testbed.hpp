@@ -60,6 +60,13 @@ struct TestbedOptions {
   /// the operator resets the server processes.
   sim::Time operator_response = 600 * sim::kSecond;
   bool operator_enabled = true;
+  /// Intensity knobs for the gray fault types (loss probability, flap duty
+  /// cycle, slow factors).
+  fault::GrayFaultParams gray;
+  /// Swap every detector for its gray-fault-hardened variant: accrual
+  /// heartbeats + 2PC retry in the membership daemon, service-age slow-peer
+  /// rerouting in qmon, retrying pings in the FE monitor.
+  bool hardened_detectors = false;
 };
 
 /// One fully wired instance of the paper's experimental environment: the

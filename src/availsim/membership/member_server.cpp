@@ -32,6 +32,7 @@ void MemberServer::start() {
   view_.insert(id());
   view_version_ = 0;
   last_seen_.clear();
+  hb_ewma_.clear();
   proposals_.clear();
   removing_.clear();
   joined_ = false;
@@ -145,16 +146,33 @@ void MemberServer::arm_monitor_timer() {
   });
 }
 
-void MemberServer::check_neighbours() {
-  const sim::Time deadline =
+sim::Time MemberServer::suspect_deadline(net::NodeId neighbour) const {
+  const sim::Time fixed =
       p_.heartbeat_tolerance * p_.heartbeat_period + p_.heartbeat_period / 2;
+  if (!p_.hardened) return fixed;
+  // Accrual detector: scale the deadline by the observed (smoothed)
+  // inter-arrival time. A lossy link stretches inter-arrivals, so the
+  // deadline stretches too; on a clean network the EWMA sits at the
+  // heartbeat period and the floor keeps dead-node detection at seed
+  // speed.
+  sim::Time ewma = p_.heartbeat_period;
+  if (auto it = hb_ewma_.find(neighbour); it != hb_ewma_.end()) {
+    ewma = it->second;
+  }
+  const auto accrual =
+      static_cast<sim::Time>(p_.phi_threshold * static_cast<double>(ewma));
+  return std::max(fixed, accrual);
+}
+
+void MemberServer::check_neighbours() {
   for (net::NodeId nb : neighbours()) {
     auto it = last_seen_.find(nb);
     if (it == last_seen_.end()) {
       last_seen_[nb] = sim_.now();  // grace for a new neighbour
       continue;
     }
-    if (sim_.now() - it->second > deadline && !removing_.contains(nb)) {
+    if (sim_.now() - it->second > suspect_deadline(nb) &&
+        !removing_.contains(nb)) {
       mark("suspect", nb);
       coordinate_change(/*add=*/false, nb, {});
     }
@@ -162,6 +180,17 @@ void MemberServer::check_neighbours() {
 }
 
 void MemberServer::handle_heartbeat(const MHeartbeat& msg) {
+  if (p_.hardened) {
+    if (auto it = last_seen_.find(msg.from); it != last_seen_.end()) {
+      const sim::Time interval = sim_.now() - it->second;
+      auto [e, inserted] = hb_ewma_.try_emplace(msg.from, interval);
+      if (!inserted) {
+        e->second = static_cast<sim::Time>(
+            p_.ewma_alpha * static_cast<double>(interval) +
+            (1.0 - p_.ewma_alpha) * static_cast<double>(e->second));
+      }
+    }
+  }
   last_seen_[msg.from] = sim_.now();
 }
 
@@ -196,9 +225,29 @@ void MemberServer::coordinate_change(bool add, net::NodeId subject,
     finish_proposal(change_id);
     return;
   }
-  sim_.schedule_after(p_.ack_timeout, [this, e = epoch_, change_id] {
+  arm_proposal_timer(change_id, 0);
+}
+
+void MemberServer::arm_proposal_timer(std::uint64_t change_id, int attempt) {
+  // Unhardened daemons take exactly one ack_timeout and close the vote
+  // (seed behaviour). Hardened daemons retransmit the proposal to the
+  // members whose ack may have been eaten by a lossy link, with doubling
+  // backoff, before giving up on them.
+  const sim::Time wait = p_.ack_timeout << attempt;
+  sim_.schedule_after(wait, [this, e = epoch_, change_id, attempt] {
     if (epoch_ != e || !running_) return;
-    finish_proposal(change_id);
+    auto it = proposals_.find(change_id);
+    if (it == proposals_.end() || it->second.done) return;
+    if (!p_.hardened || attempt >= p_.propose_retries) {
+      finish_proposal(change_id);
+      return;
+    }
+    for (net::NodeId m : view_) {
+      if (m == id() || m == it->second.change.subject) continue;
+      if (it->second.acks.contains(m)) continue;
+      send_unicast(m, MemberMsg{it->second.change});
+    }
+    arm_proposal_timer(change_id, attempt + 1);
   });
 }
 

@@ -22,6 +22,24 @@ struct MemberServerParams {
   /// Period of the AliveAnnounce multicast that re-merges splintered
   /// sub-groups once the network heals.
   sim::Time announce_period = 15 * sim::kSecond;
+
+  /// --- gray-fault hardening (off by default: seed behaviour) ---
+  /// With `hardened` set, two detectors change. (1) Accrual-style
+  /// suspicion: a neighbour is suspected only when the silence since its
+  /// last heartbeat exceeds `phi_threshold` × a smoothed (EWMA, gain
+  /// `ewma_alpha`) estimate of its heartbeat inter-arrival time — on a
+  /// lossy link the observed inter-arrivals stretch, so the deadline
+  /// stretches with them instead of firing on a short run of eaten
+  /// heartbeats. The accrual deadline is floored at the fixed deadline, so
+  /// detection of truly dead nodes is never faster *or* slower than the
+  /// seed on a clean network. (2) 2PC retry: an unanswered ProposeChange
+  /// is retransmitted to the members that have not acked, up to
+  /// `propose_retries` times with doubling `ack_timeout` backoff, before
+  /// the vote is closed.
+  bool hardened = false;
+  double phi_threshold = 8.0;
+  double ewma_alpha = 0.1;
+  int propose_retries = 3;
 };
 
 /// The robust group-membership daemon (paper §4.2): an independent service
@@ -74,10 +92,12 @@ class MemberServer {
   void arm_announce_timer();
   void send_heartbeats();
   void check_neighbours();
+  sim::Time suspect_deadline(net::NodeId neighbour) const;
   std::vector<net::NodeId> neighbours() const;
 
   void coordinate_change(bool add, net::NodeId subject,
                          std::vector<net::NodeId> extra);
+  void arm_proposal_timer(std::uint64_t change_id, int attempt);
   void finish_proposal(std::uint64_t change_id);
   void install_view(std::vector<net::NodeId> members);
   void publish();
@@ -96,6 +116,8 @@ class MemberServer {
   std::set<net::NodeId> view_;
   std::uint64_t view_version_ = 0;
   std::unordered_map<net::NodeId, sim::Time> last_seen_;
+  // Smoothed heartbeat inter-arrival per peer (accrual detector state).
+  std::unordered_map<net::NodeId, sim::Time> hb_ewma_;
   bool joined_ = false;
 
   struct Proposal {

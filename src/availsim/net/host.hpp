@@ -32,6 +32,14 @@ class Host {
   State state() const { return state_; }
   bool is_up() const { return state_ == State::kUp; }
 
+  /// Gray fault: limping node. Every CPU service time of processes on this
+  /// host is multiplied by the factor; the host still answers pings and its
+  /// daemons still heartbeat — it is degraded, not down, which is exactly
+  /// what naive up/down detectors cannot express.
+  void set_slow_factor(double factor) { slow_factor_ = factor < 1 ? 1 : factor; }
+  double slow_factor() const { return slow_factor_; }
+  bool limping() const { return slow_factor_ > 1.0; }
+
   /// Registers `handler` for packets addressed to `port`. Overwrites any
   /// previous binding (a restarted process re-binds its ports).
   void bind(int port, Handler handler);
@@ -68,6 +76,7 @@ class Host {
   NodeId id_;
   std::string name_;
   State state_ = State::kUp;
+  double slow_factor_ = 1.0;
   std::unordered_map<int, Handler> ports_;
   std::deque<Packet> parked_;
 };

@@ -30,6 +30,85 @@ bool Network::path_up(NodeId a, NodeId b) const {
   return switch_up_ && link_up(a) && link_up(b);
 }
 
+LinkQuality Network::link_quality(NodeId id) const {
+  auto it = quality_.find(id);
+  return it == quality_.end() ? LinkQuality{} : it->second;
+}
+
+void Network::set_link_quality(NodeId id, LinkQuality quality) {
+  if (quality.degraded()) {
+    quality_[id] = quality;
+  } else {
+    quality_.erase(id);
+  }
+}
+
+double Network::path_loss(NodeId src, NodeId dst) const {
+  if (src == dst || quality_.empty()) return 0.0;
+  double survive = 1.0;
+  if (auto it = quality_.find(src); it != quality_.end()) {
+    survive *= 1.0 - it->second.loss;
+  }
+  if (auto it = quality_.find(dst); it != quality_.end()) {
+    survive *= 1.0 - it->second.loss;
+  }
+  return 1.0 - survive;
+}
+
+sim::Time Network::path_degradation_delay(NodeId src, NodeId dst) {
+  if (quality_.empty()) return 0;
+  sim::Time extra = 0;
+  for (NodeId end : {src, dst}) {
+    auto it = quality_.find(end);
+    if (it == quality_.end()) continue;
+    extra += it->second.extra_latency;
+    if (it->second.extra_jitter > 0) {
+      extra += rng_.uniform_int(0, it->second.extra_jitter);
+    }
+  }
+  return extra;
+}
+
+sim::Time Network::retransmit_delay(double loss) {
+  // Each lost attempt costs one RTO; the RTO doubles per consecutive loss.
+  sim::Time delay = 0;
+  sim::Time rto = params_.retransmit_timeout;
+  while (rng_.uniform() < loss && delay < 60 * sim::kSecond) {
+    delay += rto;
+    rto *= 2;
+  }
+  return delay;
+}
+
+void Network::start_link_flap(NodeId id, sim::Time down_time,
+                              sim::Time up_time) {
+  FlapState& flap = flaps_[id];
+  flap.down_time = down_time;
+  flap.up_time = up_time;
+  ++flap.epoch;
+  set_link_up(id, false);  // injection begins with the down phase
+  arm_flap(id, /*down_next=*/false);
+}
+
+void Network::stop_link_flap(NodeId id) {
+  auto it = flaps_.find(id);
+  if (it == flaps_.end()) return;
+  flaps_.erase(it);
+  set_link_up(id, true);
+}
+
+void Network::arm_flap(NodeId id, bool down_next) {
+  auto it = flaps_.find(id);
+  if (it == flaps_.end()) return;
+  const sim::Time phase = down_next ? it->second.up_time : it->second.down_time;
+  sim_.schedule_after(phase, [this, id, down_next, e = it->second.epoch] {
+    auto f = flaps_.find(id);
+    if (f == flaps_.end() || f->second.epoch != e) return;  // flap repaired
+    set_link_up(id, !down_next);
+    arm_flap(id, !down_next);
+  });
+}
+
 void Network::send(NodeId src, NodeId dst, int port, std::size_t bytes,
                    std::shared_ptr<const void> body, SendOptions options) {
   assert(hosts_.contains(src) && hosts_.contains(dst));
@@ -64,6 +143,24 @@ void Network::transmit(Packet packet, SendOptions options) {
   sim::Time arrive = start + tx + params_.base_latency;
   if (params_.max_jitter > 0) {
     arrive += rng_.uniform_int(0, params_.max_jitter);
+  }
+  const double loss = path_loss(packet.src, packet.dst);
+  if (loss > 0.0) {
+    if (!options.reliable) {
+      // Datagrams crossing a sick link are simply gone (heartbeats,
+      // multicasts, acks) — the gray regime the detectors must survive.
+      if (rng_.uniform() < loss) {
+        ++lost_;
+        return;
+      }
+    } else {
+      // TCP masks the loss but pays for it in retransmission time: the
+      // bytes arrive late, not never.
+      arrive += retransmit_delay(loss);
+    }
+    arrive += path_degradation_delay(packet.src, packet.dst);
+  } else if (!quality_.empty()) {
+    arrive += path_degradation_delay(packet.src, packet.dst);
   }
   if (options.reliable) {
     arrive = flows_.sequence(packet.src, packet.dst, arrive);
@@ -108,13 +205,20 @@ void Network::ping(NodeId src, NodeId dst, sim::Time timeout, PingCallback cb) {
   const sim::Time rtt = 2 * params_.base_latency + 2 * tx_time(64);
 
   // Echo request arrives one latency out; the reply needs the reverse path
-  // up as well and the host answering (up, not frozen, not down).
+  // up as well and the host answering (up, not frozen, not down). ICMP is
+  // a datagram: each direction independently risks the sick-link loss.
   sim_.schedule_after(params_.base_latency, [this, src, dst, rtt, shared_cb,
                                              answered] {
     if (!path_up(src, dst)) return;          // request or reply lost
+    const double loss = path_loss(src, dst);
+    if (loss > 0.0 &&
+        (rng_.uniform() < loss || rng_.uniform() < loss)) {
+      return;  // echo request or echo reply dropped on the sick link
+    }
     Host* target = hosts_.at(dst);
     if (target->state() != Host::State::kUp) return;  // no echo from a dead host
-    sim_.schedule_after(rtt / 2, [shared_cb, answered] {
+    const sim::Time degraded = path_degradation_delay(src, dst);
+    sim_.schedule_after(rtt / 2 + degraded, [shared_cb, answered] {
       if (*answered) return;
       *answered = true;
       (*shared_cb)(true);

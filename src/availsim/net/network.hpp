@@ -22,6 +22,21 @@ struct NetworkParams {
   double bandwidth_bps = 1e9;
   /// Random jitter added to each delivery (breaks event phase-locking).
   sim::Time max_jitter = 20 * sim::kMicrosecond;
+  /// First TCP retransmission timeout for reliable flows crossing a lossy
+  /// link (doubles per consecutive loss, RFC-6298-style floor).
+  sim::Time retransmit_timeout = 200 * sim::kMillisecond;
+};
+
+/// Gray-fault state of one host's link: the link is *up* but sick. Loss is
+/// applied per direction (a packet crosses the sender's and the receiver's
+/// link), latency/jitter are added per sick link crossed.
+struct LinkQuality {
+  double loss = 0.0;            // per-direction drop probability [0, 1)
+  sim::Time extra_latency = 0;  // added one-way delay per crossing
+  sim::Time extra_jitter = 0;   // uniform extra jitter bound per crossing
+  bool degraded() const {
+    return loss > 0.0 || extra_latency > 0 || extra_jitter > 0;
+  }
 };
 
 /// A switched LAN: every attached host has one link to a single switch.
@@ -79,6 +94,20 @@ class Network {
   bool link_up(NodeId id) const;
   bool switch_up() const { return switch_up_; }
 
+  /// --- gray-fault hooks ---
+  /// Lossy link: the link stays up but drops/delays packets.
+  void set_link_quality(NodeId id, LinkQuality quality);
+  void clear_link_quality(NodeId id) { set_link_quality(id, LinkQuality{}); }
+  LinkQuality link_quality(NodeId id) const;
+
+  /// Flapping link: alternates down/up on a duty cycle, starting with the
+  /// down phase now. Reliable traffic parks during down phases and bursts
+  /// out on every up edge, exactly the load pattern that destabilizes
+  /// naive heartbeat detectors. stop_link_flap() restores the link up.
+  void start_link_flap(NodeId id, sim::Time down_time, sim::Time up_time);
+  void stop_link_flap(NodeId id);
+  bool flapping(NodeId id) const { return flaps_.contains(id); }
+
   /// True iff packets can currently move from a to b (links + switch).
   /// Host process state is not part of the path; a packet to a down host
   /// is refused at delivery, as in a real LAN.
@@ -87,13 +116,29 @@ class Network {
   /// Diagnostics.
   std::uint64_t packets_delivered() const { return delivered_; }
   std::uint64_t packets_dropped() const { return dropped_; }
+  std::uint64_t packets_lost() const { return lost_; }
   std::size_t parked_reliable() const { return flows_.parked_count(); }
 
  private:
+  struct FlapState {
+    sim::Time down_time = 0;
+    sim::Time up_time = 0;
+    std::uint64_t epoch = 0;
+  };
+
   void transmit(Packet packet, SendOptions options);
   void deliver(const Packet& packet, const SendOptions& options);
   void flush(std::vector<FlowTable::PendingSend> parked);
   sim::Time tx_time(std::size_t bytes) const;
+  /// Combined per-direction loss probability of the (src, dst) path.
+  double path_loss(NodeId src, NodeId dst) const;
+  /// Added latency from sick links on the path, jitter included.
+  sim::Time path_degradation_delay(NodeId src, NodeId dst);
+  /// Retransmission delay for a reliable packet: 0 if the first attempt
+  /// survives, else the summed exponential-backoff timeouts of the lost
+  /// attempts (TCP hides the loss but not the time).
+  sim::Time retransmit_delay(double loss);
+  void arm_flap(NodeId id, bool down_next);
 
   sim::Simulator& sim_;
   sim::Rng rng_;
@@ -101,11 +146,14 @@ class Network {
   std::unordered_map<NodeId, Host*> hosts_;
   std::unordered_map<NodeId, bool> link_up_;
   std::unordered_map<NodeId, sim::Time> link_free_;  // uplink serialization
+  std::unordered_map<NodeId, LinkQuality> quality_;
+  std::unordered_map<NodeId, FlapState> flaps_;
   std::unordered_map<int, std::unordered_set<NodeId>> groups_;
   FlowTable flows_;
   bool switch_up_ = true;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t lost_ = 0;  // gray-fault losses (distinct from path-down drops)
 };
 
 }  // namespace availsim::net

@@ -171,6 +171,10 @@ void PressNode::resume_after_thaw() {
 // ---------------------------------------------------------------------------
 
 void PressNode::schedule_cpu(sim::Time cost, std::function<void()> fn) {
+  // A limping host (gray fault) stretches every CPU service time; the
+  // process still makes progress, still heartbeats, still answers pings.
+  cost = static_cast<sim::Time>(static_cast<double>(cost) *
+                                host_.slow_factor());
   cpu_free_ = std::max(sim_.now(), cpu_free_) + cost;
   sim_.schedule_at(cpu_free_, [this, e = epoch_, fn = std::move(fn)] {
     if (epoch_ != e || !process_up_) return;
@@ -366,6 +370,20 @@ void PressNode::forward_to(net::NodeId peer,
                            const workload::HttpRequest& request,
                            bool allow_reroute) {
   auto& q = sendq(peer);
+  if (q.over_slow_threshold(sim_.now()) && !q.admit_probe(rng_)) {
+    // Hardened qmon: the peer is answering acks (so the window never
+    // closes and the queue never builds) but its oldest forward has gone
+    // unanswered too long — it is limping. Route around it, keeping the
+    // probe trickle so recovery is noticed.
+    ++stats_.rerouted_slow;
+    mark("slow_peer", peer);
+    if (allow_reroute) {
+      reroute(request, peer);
+    } else {
+      serve_from_disk(request);
+    }
+    return;
+  }
   const std::uint64_t fid = next_forward_id_++;
   qmon::SelfMonitoringQueue::Entry entry;
   entry.port = net::ports::kPressIntra;
@@ -439,6 +457,7 @@ void PressNode::reroute(const workload::HttpRequest& request,
   others.erase(id());
   auto alt = dir_.best_service_node(request.file, others);
   if (alt && !sendq(*alt).over_reroute_threshold() &&
+      !sendq(*alt).over_slow_threshold(sim_.now()) &&
       load_allows_forward(*alt)) {
     forward_to(*alt, request, /*allow_reroute=*/false);
     return;
@@ -523,6 +542,9 @@ void PressNode::on_forward_reply(const net::Packet& packet) {
   }
   const auto msg = net::body_as<ForwardReply>(packet);
   dir_.set_load(packet.src, msg.load);
+  if (auto sq = sendq_.find(packet.src); sq != sendq_.end()) {
+    sq->second->complete(msg.forward_id);
+  }
   auto it = forwards_.find(msg.forward_id);
   if (it == forwards_.end()) return;  // purged during an exclusion
   const workload::HttpRequest request = it->second.request;
@@ -606,7 +628,7 @@ void PressNode::pump_queue(net::NodeId peer) {
   auto it = sendq_.find(peer);
   if (it == sendq_.end()) return;
   auto& q = *it->second;
-  while (auto entry = q.pop_transmittable()) {
+  while (auto entry = q.pop_transmittable(sim_.now())) {
     net::SendOptions options;
     options.reliable = true;
     if (entry->is_request) {
@@ -628,6 +650,7 @@ void PressNode::on_forward_refused(net::NodeId peer, std::uint64_t forward_id) {
   if (hung_ || !host_ok()) return;
   if (auto it = sendq_.find(peer); it != sendq_.end()) {
     it->second->credit(forward_id);
+    it->second->complete(forward_id);
     pump_queue(peer);
   }
   auto it = forwards_.find(forward_id);
@@ -839,6 +862,9 @@ void PressNode::arm_forward_sweeper() {
         if (sim_.now() > it->second.deadline) {
           --active_requests_;
           ++stats_.forward_failures;
+          if (auto sq = sendq_.find(it->second.peer); sq != sendq_.end()) {
+            sq->second->complete(it->first);  // stop the service-age clock
+          }
           it = forwards_.erase(it);
         } else {
           ++it;

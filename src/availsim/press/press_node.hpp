@@ -53,6 +53,7 @@ class PressNode {
     std::uint64_t forward_replies = 0;
     std::uint64_t forward_failures = 0;
     std::uint64_t rerouted = 0;
+    std::uint64_t rerouted_slow = 0;  // slow-peer (service-age) reroutes
     std::uint64_t shed_stale = 0;
     std::uint64_t dropped_overload = 0;
     std::uint64_t dropped_nonmember = 0;

@@ -43,7 +43,7 @@ SelfMonitoringQueue::PushResult SelfMonitoringQueue::push(Entry entry,
 }
 
 std::optional<SelfMonitoringQueue::Entry>
-SelfMonitoringQueue::pop_transmittable() {
+SelfMonitoringQueue::pop_transmittable(sim::Time now) {
   if (queue_.empty()) return std::nullopt;
   const Entry& head = queue_.front();
   if (head.is_request &&
@@ -55,12 +55,31 @@ SelfMonitoringQueue::pop_transmittable() {
   if (out.is_request) {
     --queued_requests_;
     in_flight_.emplace(out.request_id, true);
+    outstanding_.emplace(out.request_id, now);
   }
   return out;
 }
 
 bool SelfMonitoringQueue::credit(std::uint64_t request_id) {
   return in_flight_.erase(request_id) > 0;
+}
+
+void SelfMonitoringQueue::complete(std::uint64_t request_id) {
+  outstanding_.erase(request_id);
+}
+
+sim::Time SelfMonitoringQueue::oldest_outstanding_age(sim::Time now) const {
+  sim::Time oldest = 0;
+  for (const auto& [id, sent] : outstanding_) {
+    const sim::Time age = now > sent ? now - sent : 0;
+    if (age > oldest) oldest = age;
+  }
+  return oldest;
+}
+
+bool SelfMonitoringQueue::over_slow_threshold(sim::Time now) const {
+  return policy_.enabled && policy_.slow_peer_age > 0 &&
+         oldest_outstanding_age(now) > policy_.slow_peer_age;
 }
 
 std::vector<std::uint64_t> SelfMonitoringQueue::purge() {
@@ -72,6 +91,7 @@ std::vector<std::uint64_t> SelfMonitoringQueue::purge() {
   queue_.clear();
   queued_requests_ = 0;
   in_flight_.clear();
+  outstanding_.clear();
   return ids;
 }
 

@@ -9,6 +9,7 @@
 
 #include "availsim/net/packet.hpp"
 #include "availsim/sim/rng.hpp"
+#include "availsim/sim/time.hpp"
 
 namespace availsim::qmon {
 
@@ -26,6 +27,12 @@ struct QmonPolicy {
   /// that recovery is noticed ("a small fraction of the requests are still
   /// routed to it").
   double probe_fraction = 0.15;
+  /// Gray-fault hardening: when the *oldest unanswered request* to the
+  /// peer is older than this, the peer is limping (slow, not stopped) and
+  /// new requests are rerouted — long before its acks stop and the
+  /// 128-entry queue threshold could ever trip. 0 disables (seed
+  /// behaviour: only queue length is watched).
+  sim::Time slow_peer_age = 0;
 };
 
 /// A self-monitoring send queue to one cooperating peer.
@@ -62,12 +69,18 @@ class SelfMonitoringQueue {
 
   /// Next entry allowed onto the wire (respecting the in-flight window),
   /// or nullopt. The caller transmits it and, for requests, later calls
-  /// credit() when the matching reply arrives.
-  std::optional<Entry> pop_transmittable();
+  /// credit() when the flow-control credit (ack) arrives and complete()
+  /// when the peer's answer arrives. `now` stamps the transmission for
+  /// service-age monitoring.
+  std::optional<Entry> pop_transmittable(sim::Time now = 0);
 
   /// A reply for `request_id` arrived: frees a window slot.
   /// Returns false if the id was not in flight (stale/duplicate).
   bool credit(std::uint64_t request_id);
+
+  /// The peer answered (or the request was abandoned): ends the service-
+  /// age tracking started by pop_transmittable().
+  void complete(std::uint64_t request_id);
 
   /// Drops everything (queued and in flight); returns the queued request
   /// ids and in-flight request ids so the owner can fail those requests.
@@ -80,9 +93,15 @@ class SelfMonitoringQueue {
   /// With monitoring on: admit this request despite overload? (probe)
   bool admit_probe(sim::Rng& rng) const;
 
+  /// Age of the oldest transmitted-but-unanswered request, 0 if none.
+  sim::Time oldest_outstanding_age(sim::Time now) const;
+  /// Gray-fault hardening: is the peer limping? (policy.slow_peer_age)
+  bool over_slow_threshold(sim::Time now) const;
+
   std::size_t queued_requests() const { return queued_requests_; }
   std::size_t queued_total() const { return queue_.size(); }
   std::size_t in_flight() const { return in_flight_.size(); }
+  std::size_t outstanding() const { return outstanding_.size(); }
   const QmonPolicy& policy() const { return policy_; }
 
  private:
@@ -91,7 +110,8 @@ class SelfMonitoringQueue {
   int window_;
   std::deque<Entry> queue_;
   std::size_t queued_requests_ = 0;
-  std::unordered_map<std::uint64_t, bool> in_flight_;  // request ids
+  std::unordered_map<std::uint64_t, bool> in_flight_;  // awaiting ack (window)
+  std::unordered_map<std::uint64_t, sim::Time> outstanding_;  // awaiting answer
 };
 
 }  // namespace availsim::qmon

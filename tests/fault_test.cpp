@@ -101,6 +101,47 @@ TEST(Injector, OpenEndedFaultRepairedManually) {
   EXPECT_TRUE(target.recs[1].repair);
 }
 
+TEST(Injector, RepairNowIsIdempotent) {
+  // Regression: a manual repair racing the scheduled one used to run the
+  // target's repair hook twice (and log two repair events), un-repairing
+  // state behind fault bookkeeping that assumed balanced pairs.
+  sim::Simulator sim;
+  RecordingTarget target;
+  FaultInjector inj(sim, target, sim::Rng(1));
+  inj.schedule_fault(sim::kSecond, FaultType::kScsiTimeout, 0);
+  sim.run();
+  inj.repair_now(FaultType::kScsiTimeout, 0);
+  inj.repair_now(FaultType::kScsiTimeout, 0);  // duplicate: must no-op
+  EXPECT_EQ(inj.active_faults(), 0);
+  ASSERT_EQ(target.recs.size(), 2u);  // one inject + one repair only
+  EXPECT_EQ(inj.log().size(), 2u);
+  EXPECT_FALSE(inj.is_active(FaultType::kScsiTimeout, 0));
+}
+
+TEST(Injector, RepairNowOfNeverInjectedFaultIsANoOp) {
+  sim::Simulator sim;
+  RecordingTarget target;
+  FaultInjector inj(sim, target, sim::Rng(1));
+  inj.repair_now(FaultType::kNodeCrash, 3);
+  EXPECT_TRUE(target.recs.empty());
+  EXPECT_TRUE(inj.log().empty());
+  EXPECT_EQ(inj.active_faults(), 0);
+}
+
+TEST(Injector, DuplicateInjectionIsANoOp) {
+  sim::Simulator sim;
+  RecordingTarget target;
+  FaultInjector inj(sim, target, sim::Rng(1));
+  inj.schedule_fault(sim::kSecond, FaultType::kAppHang, 1);
+  inj.schedule_fault(2 * sim::kSecond, FaultType::kAppHang, 1);  // duplicate
+  sim.run();
+  EXPECT_TRUE(inj.is_active(FaultType::kAppHang, 1));
+  ASSERT_EQ(target.recs.size(), 1u);
+  inj.repair_now(FaultType::kAppHang, 1);
+  EXPECT_EQ(target.recs.size(), 2u);
+  EXPECT_EQ(inj.active_faults(), 0);
+}
+
 TEST(Injector, EventObserverFires) {
   sim::Simulator sim;
   RecordingTarget target;

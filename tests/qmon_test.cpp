@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "availsim/qmon/qmon.hpp"
+#include "availsim/sim/rng.hpp"
+#include "availsim/sim/time.hpp"
+
+namespace availsim::qmon {
+namespace {
+
+SelfMonitoringQueue::Entry request(std::uint64_t id) {
+  SelfMonitoringQueue::Entry e;
+  e.port = 1;
+  e.bytes = 100;
+  e.is_request = true;
+  e.request_id = id;
+  return e;
+}
+
+SelfMonitoringQueue::Entry control() {
+  SelfMonitoringQueue::Entry e;
+  e.port = 2;
+  e.bytes = 50;
+  e.is_request = false;
+  return e;
+}
+
+QmonPolicy monitored(double probe_fraction) {
+  QmonPolicy p;
+  p.enabled = true;
+  p.probe_fraction = probe_fraction;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Threshold boundaries: the paper's 128 / 256 / 512 limits must act exactly
+// at the boundary, not one entry early or late.
+// ---------------------------------------------------------------------------
+
+TEST(QmonBoundary, RerouteFiresAtExactly128QueuedRequests) {
+  // probe_fraction 0 makes the overload decision deterministic.
+  SelfMonitoringQueue q(monitored(0.0), 4096, /*window=*/0);
+  sim::Rng rng(1);
+  for (std::uint64_t i = 0; i < 128; ++i) {
+    ASSERT_EQ(q.push(request(i), rng), SelfMonitoringQueue::PushResult::kQueued)
+        << "request " << i;
+    EXPECT_EQ(q.over_reroute_threshold(), q.queued_requests() >= 128);
+  }
+  EXPECT_EQ(q.queued_requests(), 128u);
+  EXPECT_TRUE(q.over_reroute_threshold());
+  EXPECT_EQ(q.push(request(128), rng),
+            SelfMonitoringQueue::PushResult::kReroute);
+  EXPECT_EQ(q.queued_requests(), 128u);  // the rerouted entry never queued
+}
+
+TEST(QmonBoundary, FailRequestsFiresAtExactly256) {
+  // probe_fraction 1 admits every request past the reroute threshold, so
+  // the queue can actually reach the fail threshold.
+  SelfMonitoringQueue q(monitored(1.0), 4096, /*window=*/0);
+  sim::Rng rng(1);
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    ASSERT_EQ(q.push(request(i), rng),
+              SelfMonitoringQueue::PushResult::kQueued);
+    if (i < 255) EXPECT_FALSE(q.over_fail_threshold()) << i;
+  }
+  EXPECT_EQ(q.queued_requests(), 256u);
+  EXPECT_TRUE(q.over_fail_threshold());
+}
+
+TEST(QmonBoundary, FailTotalFiresAtExactly512Messages) {
+  SelfMonitoringQueue q(monitored(1.0), 4096, /*window=*/0);
+  sim::Rng rng(1);
+  // Non-request messages never count toward the request thresholds but do
+  // count toward the total-capacity fail threshold.
+  for (int i = 0; i < 512; ++i) {
+    ASSERT_EQ(q.push(control(), rng), SelfMonitoringQueue::PushResult::kQueued);
+    if (i < 511) EXPECT_FALSE(q.over_fail_threshold()) << i;
+  }
+  EXPECT_EQ(q.queued_requests(), 0u);
+  EXPECT_EQ(q.queued_total(), 512u);
+  EXPECT_TRUE(q.over_fail_threshold());
+}
+
+TEST(QmonBoundary, UnmonitoredQueueBlocksAtCapacity) {
+  QmonPolicy off;  // enabled = false
+  SelfMonitoringQueue q(off, /*block_capacity=*/4, /*window=*/0);
+  sim::Rng rng(1);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(q.push(request(i), rng), SelfMonitoringQueue::PushResult::kQueued);
+  }
+  EXPECT_EQ(q.push(request(4), rng),
+            SelfMonitoringQueue::PushResult::kWouldBlock);
+}
+
+// ---------------------------------------------------------------------------
+// Probe determinism: the same seed must admit the same probe sequence, so
+// A/B comparisons across detector variants stay run-to-run reproducible.
+// ---------------------------------------------------------------------------
+
+TEST(QmonProbe, ProbeSequenceIsDeterministicUnderFixedSeed) {
+  SelfMonitoringQueue q(monitored(0.15), 4096, /*window=*/0);
+  std::vector<bool> first, second;
+  {
+    sim::Rng rng(42);
+    for (int i = 0; i < 200; ++i) first.push_back(q.admit_probe(rng));
+  }
+  {
+    sim::Rng rng(42);
+    for (int i = 0; i < 200; ++i) second.push_back(q.admit_probe(rng));
+  }
+  EXPECT_EQ(first, second);
+  int admitted = 0;
+  for (bool b : first) admitted += b;
+  // ~15% of probes admitted (binomial, wide tolerance).
+  EXPECT_GT(admitted, 10);
+  EXPECT_LT(admitted, 60);
+}
+
+// ---------------------------------------------------------------------------
+// Slow-peer (service-age) monitoring
+// ---------------------------------------------------------------------------
+
+TEST(QmonSlowPeer, OldestOutstandingAgeTracksTransmitToComplete) {
+  QmonPolicy p = monitored(0.15);
+  p.slow_peer_age = 2 * sim::kSecond;
+  SelfMonitoringQueue q(p, 4096, /*window=*/8);
+  sim::Rng rng(1);
+
+  ASSERT_EQ(q.push(request(1), rng), SelfMonitoringQueue::PushResult::kQueued);
+  EXPECT_EQ(q.oldest_outstanding_age(10 * sim::kSecond), 0);  // not sent yet
+
+  auto e = q.pop_transmittable(/*now=*/sim::kSecond);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(q.oldest_outstanding_age(2 * sim::kSecond), sim::kSecond);
+  EXPECT_FALSE(q.over_slow_threshold(3 * sim::kSecond));  // age == threshold
+  EXPECT_TRUE(q.over_slow_threshold(3 * sim::kSecond + 1));
+
+  // The ack (credit) alone must NOT clear the slow signal: a limping peer
+  // keeps acking while failing to answer.
+  EXPECT_TRUE(q.credit(1));
+  EXPECT_TRUE(q.over_slow_threshold(4 * sim::kSecond));
+
+  q.complete(1);
+  EXPECT_EQ(q.oldest_outstanding_age(4 * sim::kSecond), 0);
+  EXPECT_FALSE(q.over_slow_threshold(100 * sim::kSecond));
+}
+
+TEST(QmonSlowPeer, ZeroThresholdDisablesSlowDetection) {
+  QmonPolicy p = monitored(0.15);  // slow_peer_age stays 0 (seed behaviour)
+  SelfMonitoringQueue q(p, 4096, /*window=*/8);
+  sim::Rng rng(1);
+  ASSERT_EQ(q.push(request(1), rng), SelfMonitoringQueue::PushResult::kQueued);
+  (void)q.pop_transmittable(0);
+  EXPECT_FALSE(q.over_slow_threshold(sim::kHour));
+}
+
+TEST(QmonSlowPeer, PurgeClearsOutstanding) {
+  QmonPolicy p = monitored(1.0);
+  p.slow_peer_age = sim::kSecond;
+  SelfMonitoringQueue q(p, 4096, /*window=*/8);
+  sim::Rng rng(1);
+  ASSERT_EQ(q.push(request(7), rng), SelfMonitoringQueue::PushResult::kQueued);
+  (void)q.pop_transmittable(0);
+  EXPECT_EQ(q.outstanding(), 1u);
+  auto ids = q.purge();
+  EXPECT_EQ(ids.size(), 1u);
+  EXPECT_EQ(q.outstanding(), 0u);
+  EXPECT_FALSE(q.over_slow_threshold(sim::kHour));
+}
+
+}  // namespace
+}  // namespace availsim::qmon

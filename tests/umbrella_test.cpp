@@ -7,6 +7,7 @@ TEST(Umbrella, ExposesCoreTypes) {
   availsim::sim::Simulator simulator;
   availsim::model::SystemModel model(100.0, {});
   EXPECT_DOUBLE_EQ(model.availability(), 1.0);
-  EXPECT_EQ(availsim::fault::all_fault_types().size(), 8u);
+  EXPECT_EQ(availsim::fault::all_fault_types().size(),
+            static_cast<std::size_t>(availsim::fault::kFaultTypeCount));
   EXPECT_EQ(simulator.now(), 0);
 }
