@@ -5,17 +5,25 @@
 // detectors (accrual membership heartbeats + 2PC retry, service-age
 // slow-peer rerouting, retrying FE pings).
 //
-// Emits one JSON object per (config, detectors) run on stdout, suitable
-// for jq / plotting:
-//   ./fig11_gray_faults [horizon_seconds] [seed]
+// Emits one JSON object per (config, detectors) run on stdout (and the
+// aggregate to <cache_dir>/fig11_gray_faults.json), suitable for jq /
+// plotting:
+//   ./fig11_gray_faults [horizon_seconds] [seed] [--jobs N]
+//
+// The 12 (config, detectors) campaigns are independent replicas and fan
+// out across cores; aggregation is in replica order, so the JSON is
+// byte-identical for every --jobs value.
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "availsim/fault/injector.hpp"
+#include "availsim/harness/campaign.hpp"
 #include "availsim/harness/experiment.hpp"
+#include "availsim/harness/model_cache.hpp"
 #include "availsim/harness/testbed.hpp"
 #include "availsim/workload/recorder.hpp"
 
@@ -91,9 +99,28 @@ RunResult run_campaign(harness::ServerConfig config, bool hardened,
   return r;
 }
 
+std::string json_row(const char* name, bool hardened, const RunResult& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  {\"config\": \"%s\", \"detectors\": \"%s\", "
+      "\"availability\": %.6f, \"splinter_fraction\": %.4f, "
+      "\"membership_flaps\": %d, \"membership_suspects\": %d, "
+      "\"qmon_failures\": %llu, \"rerouted_slow\": %llu, "
+      "\"forward_failures\": %llu, \"bursts\": %d, \"injections\": %d}",
+      name, hardened ? "hardened" : "seed", r.availability,
+      r.splinter_fraction, r.membership_flaps, r.membership_suspects,
+      static_cast<unsigned long long>(r.qmon_failures),
+      static_cast<unsigned long long>(r.rerouted_slow),
+      static_cast<unsigned long long>(r.forward_failures), r.bursts,
+      r.injections);
+  return buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const int jobs = harness::parse_jobs_flag(argc, argv, 0);
   const double horizon_s = argc > 1 ? std::atof(argv[1]) : 1800.0;
   const std::uint64_t seed =
       argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 1;
@@ -111,29 +138,35 @@ int main(int argc, char** argv) {
       {"Q-MON", harness::ServerConfig::kQmon},
       {"MQ", harness::ServerConfig::kMq},
   };
+  constexpr int kReplicas = 12;  // 6 configs x {seed, hardened} detectors
 
-  std::printf("[\n");
-  bool first = true;
-  for (const auto& e : entries) {
-    for (bool hardened : {false, true}) {
-      RunResult r = run_campaign(e.config, hardened, horizon, seed);
-      if (!first) std::printf(",\n");
-      first = false;
-      std::printf(
-          "  {\"config\": \"%s\", \"detectors\": \"%s\", "
-          "\"availability\": %.6f, \"splinter_fraction\": %.4f, "
-          "\"membership_flaps\": %d, \"membership_suspects\": %d, "
-          "\"qmon_failures\": %llu, \"rerouted_slow\": %llu, "
-          "\"forward_failures\": %llu, \"bursts\": %d, \"injections\": %d}",
-          e.name, hardened ? "hardened" : "seed", r.availability,
-          r.splinter_fraction, r.membership_flaps, r.membership_suspects,
-          static_cast<unsigned long long>(r.qmon_failures),
-          static_cast<unsigned long long>(r.rerouted_slow),
-          static_cast<unsigned long long>(r.forward_failures), r.bursts,
-          r.injections);
-      std::fflush(stdout);
-    }
+  harness::WallTimer campaign_timer;
+  std::vector<std::string> rows = harness::run_replicas(
+      jobs, kReplicas, [&](int i) {
+        const Entry& e = entries[i / 2];
+        const bool hardened = (i % 2) == 1;
+        RunResult r = run_campaign(e.config, hardened, horizon, seed);
+        return json_row(e.name, hardened, r);
+      });
+  std::fprintf(stderr,
+               "[campaign] fig11: %d campaigns of %.0f s, --jobs %d, %.1f s "
+               "wall\n",
+               kReplicas, horizon_s, jobs, campaign_timer.seconds());
+
+  std::string json = "[\n";
+  for (int i = 0; i < kReplicas; ++i) {
+    json += rows[static_cast<std::size_t>(i)];
+    if (i + 1 < kReplicas) json += ",";
+    json += "\n";
   }
-  std::printf("\n]\n");
+  json += "]\n";
+  std::fputs(json.c_str(), stdout);
+
+  const std::string path =
+      harness::default_cache_dir() + "/fig11_gray_faults.json";
+  if (std::ofstream out(path); out && (out << json)) {
+    std::fprintf(stderr, "(aggregated campaign JSON written to %s)\n",
+                 path.c_str());
+  }
   return 0;
 }

@@ -3,10 +3,20 @@
 // paper's paired bars: "modeled" (analytic extrapolation from the COOP
 // measurements, computed before implementing the technique) and
 // "measured" (fault injection into the fully implemented system).
+//
+// The six Phase-1 characterization campaigns are independent (each owns a
+// private Simulator/Testbed world) and fan out across cores:
+//   ./fig7_by_component [--jobs N]     (default: all cores; AVAILSIM_JOBS
+//                                       overrides; output is byte-identical
+//                                       for every N)
 
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "availsim/harness/campaign.hpp"
 #include "availsim/harness/export.hpp"
 #include "availsim/harness/model_cache.hpp"
 #include "availsim/harness/report.hpp"
@@ -15,14 +25,43 @@
 
 using namespace availsim;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = harness::parse_jobs_flag(argc, argv, 0);
   const std::string cache = harness::default_cache_dir();
-  auto measured = [&](harness::ServerConfig config) {
-    return harness::characterize_cached(
-        harness::default_testbed_options(config), cache);
-  };
 
-  model::SystemModel coop = measured(harness::ServerConfig::kCoop);
+  struct Entry {
+    const char* name;
+    harness::ServerConfig config;
+  };
+  const Entry entries[] = {
+      {"COOP", harness::ServerConfig::kCoop},
+      {"FE-X", harness::ServerConfig::kFeX},
+      {"MEM", harness::ServerConfig::kMem},
+      {"Q-MON", harness::ServerConfig::kQmon},
+      {"MQ", harness::ServerConfig::kMq},
+      {"FME", harness::ServerConfig::kFme},
+  };
+  constexpr int kConfigs = 6;
+
+  struct Characterized {
+    model::SystemModel model;
+    std::string log;
+  };
+  harness::WallTimer campaign_timer;
+  std::vector<Characterized> measured = harness::run_replicas(
+      jobs, kConfigs, [&](int i) {
+        std::string log;
+        model::SystemModel m = harness::characterize_cached(
+            harness::default_testbed_options(entries[i].config), cache, {},
+            &log);
+        return Characterized{std::move(m), std::move(log)};
+      });
+  for (const auto& r : measured) std::fputs(r.log.c_str(), stdout);
+  std::fprintf(stderr,
+               "[campaign] fig7: %d characterizations, --jobs %d, %.1f s\n",
+               kConfigs, jobs, campaign_timer.seconds());
+
+  const model::SystemModel& coop = measured[0].model;
   model::SystemModel fex_pred =
       model::predict_fex_from_coop(coop, 6 * 30 * 86400.0, 180.0);
 
@@ -32,27 +71,23 @@ int main() {
   harness::print_breakdown_header(std::cout);
   harness::print_breakdown(std::cout, "COOP", coop);
 
-  struct Entry {
-    const char* name;
-    harness::ServerConfig config;
-    model::SystemModel predicted;
-  };
-  Entry entries[] = {
-      {"FE-X", harness::ServerConfig::kFeX, fex_pred},
-      {"MEM", harness::ServerConfig::kMem, model::predict_mem(fex_pred)},
-      {"Q-MON", harness::ServerConfig::kQmon, model::predict_qmon(fex_pred)},
-      {"MQ", harness::ServerConfig::kMq, model::predict_mq(fex_pred)},
-      {"FME", harness::ServerConfig::kFme, model::predict_fme(fex_pred)},
+  const model::SystemModel predicted[] = {
+      fex_pred,
+      model::predict_mem(fex_pred),
+      model::predict_qmon(fex_pred),
+      model::predict_mq(fex_pred),
+      model::predict_fme(fex_pred),
   };
 
   double mq_measured = 0, fme_measured = 0;
   std::vector<std::pair<std::string, model::SystemModel>> rows;
   rows.emplace_back("COOP", coop);
-  for (auto& e : entries) {
+  for (int i = 1; i < kConfigs; ++i) {
+    const Entry& e = entries[i];
     harness::print_breakdown(std::cout, std::string(e.name) + "/model",
-                             e.predicted);
-    rows.emplace_back(std::string(e.name) + "/model", e.predicted);
-    model::SystemModel m = measured(e.config);
+                             predicted[i - 1]);
+    rows.emplace_back(std::string(e.name) + "/model", predicted[i - 1]);
+    const model::SystemModel& m = measured[i].model;
     harness::print_breakdown(std::cout, std::string(e.name) + "/meas", m);
     rows.emplace_back(std::string(e.name) + "/meas", m);
     if (e.config == harness::ServerConfig::kMq) mq_measured = m.unavailability();
@@ -63,6 +98,10 @@ int main() {
   const std::string csv = cache + "/fig7.csv";
   if (harness::export_breakdown_csv(rows, csv)) {
     std::printf("\n(plot-ready data written to %s)\n", csv.c_str());
+  }
+  const std::string json = cache + "/fig7.json";
+  if (harness::export_breakdown_json(rows, json)) {
+    std::printf("(aggregated campaign JSON written to %s)\n", json.c_str());
   }
 
   std::printf("\nMQ reduction vs COOP:  %.0f%% (paper: ~87%%)\n",
@@ -76,9 +115,9 @@ int main() {
   // self-healing configurations barely move.
   model::SystemModel coop_slow = coop;
   model::apply_operator_response(coop_slow, 1800);
-  model::SystemModel mq_slow = measured(harness::ServerConfig::kMq);
+  model::SystemModel mq_slow = measured[4].model;
   model::apply_operator_response(mq_slow, 1800);
-  model::SystemModel fme_slow = measured(harness::ServerConfig::kFme);
+  model::SystemModel fme_slow = measured[5].model;
   model::apply_operator_response(fme_slow, 1800);
   std::printf("\nWith a 30-minute operator response (COOP at %s):\n",
               harness::format_unavailability(coop_slow.unavailability())

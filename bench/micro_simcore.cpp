@@ -2,16 +2,31 @@
 // benchmark): event scheduling, RNG, Zipf sampling, LRU cache operations,
 // directory lookups, and network delivery. These bound how much simulated
 // traffic the availability experiments can afford.
+//
+// After the google-benchmark suite, a hand-timed section measures raw
+// event-loop throughput and a fig7-style mini fault campaign with
+// --jobs 1 vs --jobs N (parallel campaign runner), and emits the perf
+// trajectory artifact BENCH_simcore.json (path override:
+// AVAILSIM_BENCH_JSON; --quick shrinks the campaign for CI).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 
+#include "availsim/fault/injector.hpp"
+#include "availsim/harness/campaign.hpp"
+#include "availsim/harness/experiment.hpp"
+#include "availsim/harness/testbed.hpp"
 #include "availsim/net/network.hpp"
 #include "availsim/press/cache.hpp"
 #include "availsim/press/directory.hpp"
 #include "availsim/sim/rng.hpp"
 #include "availsim/sim/simulator.hpp"
+#include "availsim/workload/recorder.hpp"
 #include "availsim/workload/zipf.hpp"
 
 using namespace availsim;
@@ -29,6 +44,28 @@ static void BM_EventScheduleAndRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_EventScheduleAndRun);
+
+static void BM_EventScheduleCancel(benchmark::State& state) {
+  // Timer churn: half the scheduled events are cancelled before firing
+  // (the client-timeout pattern), plus a stale cancel of a fired id.
+  sim::Simulator simulator;
+  std::uint64_t sink = 0;
+  sim::EventId last_fired = sim::kInvalidEvent;
+  for (auto _ : state) {
+    for (int i = 0; i < 32; ++i) {
+      simulator.schedule_after(i, [&sink] { ++sink; });
+      sim::EventId timer =
+          simulator.schedule_after(1000 + i, [&sink] { ++sink; });
+      simulator.cancel(timer);
+    }
+    simulator.cancel(last_fired);  // stale handle: exact no-op
+    last_fired = simulator.schedule_after(0, [&sink] { ++sink; });
+    simulator.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 65);
+}
+BENCHMARK(BM_EventScheduleCancel);
 
 static void BM_RngNextU64(benchmark::State& state) {
   sim::Rng rng(1);
@@ -111,4 +148,132 @@ static void BM_NetworkSendDeliver(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkSendDeliver);
 
-BENCHMARK_MAIN();
+namespace {
+
+// Raw event-loop throughput (schedule + dispatch), hand-timed so the
+// number lands in BENCH_simcore.json.
+double event_loop_events_per_second(std::uint64_t* events_out) {
+  sim::Simulator simulator;
+  std::uint64_t sink = 0;
+  constexpr int kBatches = 20000;
+  constexpr int kPerBatch = 64;
+  harness::WallTimer timer;
+  for (int b = 0; b < kBatches; ++b) {
+    for (int i = 0; i < kPerBatch; ++i) {
+      simulator.schedule_after(i, [&sink] { ++sink; });
+    }
+    simulator.run();
+  }
+  const double secs = timer.seconds();
+  *events_out = simulator.events_processed();
+  benchmark::DoNotOptimize(sink);
+  return static_cast<double>(simulator.events_processed()) / secs;
+}
+
+struct ReplicaResult {
+  double availability = 0;
+  std::uint64_t events = 0;
+};
+
+// One fig7-style replica: a private COOP testbed world, one node-crash
+// injection + repair, availability measured over the campaign window.
+ReplicaResult run_campaign_replica(int i, sim::Time horizon) {
+  harness::TestbedOptions opts = harness::default_testbed_options(
+      harness::ServerConfig::kCoop, /*seed=*/static_cast<std::uint64_t>(i) + 1);
+  opts.warmup = 30 * sim::kSecond;
+  sim::Simulator sim;
+  harness::Testbed tb(sim, opts);
+  fault::FaultInjector injector(sim, tb, sim::Rng(opts.seed ^ 0xF00));
+  tb.start();
+  sim.run_until(opts.warmup);
+  const sim::Time t_inject = opts.warmup + 5 * sim::kSecond;
+  injector.schedule_fault(t_inject, fault::FaultType::kNodeCrash, 1,
+                          /*duration=*/30 * sim::kSecond);
+  const sim::Time end = opts.warmup + horizon;
+  sim.run_until(end);
+  ReplicaResult r;
+  r.availability = tb.recorder().availability(opts.warmup, end);
+  r.events = sim.events_processed();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 0;
+  bool quick = false;
+  // Strip our flags before google-benchmark sees argv.
+  jobs = harness::parse_jobs_flag(argc, argv, 0);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+
+  // --- hand-timed section: event loop + parallel mini campaign ---
+  std::uint64_t loop_events = 0;
+  const double loop_eps = event_loop_events_per_second(&loop_events);
+  std::printf("\nevent loop: %.0f events/s (%llu events)\n", loop_eps,
+              static_cast<unsigned long long>(loop_events));
+
+  const int replicas = quick ? 2 : 8;
+  const sim::Time horizon = (quick ? 60 : 120) * sim::kSecond;
+  auto campaign = [&](int j) {
+    return harness::run_replicas(j, replicas, [&](int i) {
+      return run_campaign_replica(i, horizon);
+    });
+  };
+
+  harness::WallTimer serial_timer;
+  auto serial = campaign(1);
+  const double serial_s = serial_timer.seconds();
+
+  harness::WallTimer parallel_timer;
+  auto parallel = campaign(jobs);
+  const double parallel_s = parallel_timer.seconds();
+
+  std::uint64_t campaign_events = 0;
+  bool identical = true;
+  for (int i = 0; i < replicas; ++i) {
+    campaign_events += serial[static_cast<std::size_t>(i)].events;
+    identical &= serial[static_cast<std::size_t>(i)].availability ==
+                     parallel[static_cast<std::size_t>(i)].availability &&
+                 serial[static_cast<std::size_t>(i)].events ==
+                     parallel[static_cast<std::size_t>(i)].events;
+  }
+  std::printf(
+      "campaign (%d replicas x %.0f s sim): --jobs 1 %.2f s, --jobs %d "
+      "%.2f s (%.2fx), results %s\n",
+      replicas, sim::to_seconds(horizon), serial_s, jobs, parallel_s,
+      parallel_s > 0 ? serial_s / parallel_s : 0.0,
+      identical ? "identical" : "DIVERGENT");
+
+  harness::BenchJson bench;
+  bench.add("bench", std::string("simcore"));
+  bench.add("event_loop_events_per_sec", loop_eps);
+  bench.add("campaign_replicas", replicas);
+  bench.add("campaign_sim_seconds_per_replica", sim::to_seconds(horizon));
+  bench.add("campaign_events", campaign_events);
+  bench.add("campaign_events_per_sec_serial",
+            serial_s > 0 ? static_cast<double>(campaign_events) / serial_s
+                         : 0.0);
+  bench.add("campaign_wall_seconds_jobs1", serial_s);
+  bench.add("campaign_wall_seconds_jobsN", parallel_s);
+  bench.add("campaign_jobs", jobs);
+  bench.add("campaign_speedup",
+            parallel_s > 0 ? serial_s / parallel_s : 0.0);
+  bench.add("campaign_results_identical", std::string(identical ? "true"
+                                                                : "false"));
+  const char* env_path = std::getenv("AVAILSIM_BENCH_JSON");
+  const std::string path = env_path ? env_path : "BENCH_simcore.json";
+  if (bench.write(path)) {
+    std::printf("(perf trajectory written to %s)\n", path.c_str());
+  }
+  return identical ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "availsim/harness/export.hpp"
 
+#include <cstdio>
 #include <fstream>
 
 #include "availsim/model/template.hpp"
@@ -49,6 +50,38 @@ bool export_breakdown_csv(
     }
     out << "," << m.unavailability() << "\n";
   }
+  return static_cast<bool>(out);
+}
+
+std::string breakdown_json(
+    const std::vector<std::pair<std::string, model::SystemModel>>& models) {
+  char num[64];
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const auto& [name, m] = models[i];
+    out += "  {\"config\": \"" + name + "\"";
+    const auto by = m.unavailability_by_fault();
+    for (auto t : fault::all_fault_types()) {
+      auto it = by.find(t);
+      std::snprintf(num, sizeof(num), "%.10g",
+                    it == by.end() ? 0.0 : it->second);
+      out += std::string(", \"") + fault::to_string(t) + "\": " + num;
+    }
+    std::snprintf(num, sizeof(num), "%.10g", m.unavailability());
+    out += std::string(", \"total\": ") + num + "}";
+    if (i + 1 < models.size()) out += ",";
+    out += "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+bool export_breakdown_json(
+    const std::vector<std::pair<std::string, model::SystemModel>>& models,
+    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << breakdown_json(models);
   return static_cast<bool>(out);
 }
 

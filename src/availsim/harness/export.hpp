@@ -20,4 +20,14 @@ bool export_breakdown_csv(
     const std::vector<std::pair<std::string, model::SystemModel>>& models,
     const std::string& path);
 
+/// Same matrix as export_breakdown_csv, as a JSON array of objects. The
+/// aggregated-campaign artifact the parallel runner's equivalence check
+/// compares: field order and formatting are fixed, so the bytes depend
+/// only on the models, never on how many jobs produced them.
+std::string breakdown_json(
+    const std::vector<std::pair<std::string, model::SystemModel>>& models);
+bool export_breakdown_json(
+    const std::vector<std::pair<std::string, model::SystemModel>>& models,
+    const std::string& path);
+
 }  // namespace availsim::harness

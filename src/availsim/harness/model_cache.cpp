@@ -62,22 +62,32 @@ std::string default_cache_dir() {
 
 model::SystemModel characterize_cached(const TestbedOptions& options,
                                        const std::string& cache_dir,
-                                       const Phase1Options& phase1) {
+                                       const Phase1Options& phase1,
+                                       std::string* progress_log) {
+  const auto emit = [progress_log](const std::string& line) {
+    if (progress_log) {
+      *progress_log += line;
+    } else {
+      std::fputs(line.c_str(), stdout);
+      std::fflush(stdout);
+    }
+  };
   const std::string path = cache_dir + "/" + to_string(options.config) +
                            "-" + std::to_string(options.seed) + ".model";
   if (auto cached = load_model(path)) {
-    std::printf("[cache] %s loaded from %s\n", to_string(options.config),
-                path.c_str());
+    emit(std::string("[cache] ") + to_string(options.config) +
+         " loaded from " + path + "\n");
     return *cached;
   }
-  std::printf("[phase1] characterizing %s (8 single-fault campaigns)...\n",
-              to_string(options.config));
-  std::fflush(stdout);
+  emit(std::string("[phase1] characterizing ") + to_string(options.config) +
+       " (8 single-fault campaigns)...\n");
   model::SystemModel m = characterize(
-      options, phase1, [](const Phase1Result& r) {
-        std::printf("  %-18s T0=%7.1f  %s\n", fault::to_string(r.type), r.t0,
-                    model::to_string(r.tmpl.stages).c_str());
-        std::fflush(stdout);
+      options, phase1, [&emit](const Phase1Result& r) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf), "  %-18s T0=%7.1f  %s\n",
+                      fault::to_string(r.type), r.t0,
+                      model::to_string(r.tmpl.stages).c_str());
+        emit(buf);
       });
   save_model(m, path);
   return m;

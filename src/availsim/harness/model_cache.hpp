@@ -15,10 +15,14 @@ void save_model(const model::SystemModel& model, const std::string& path);
 std::optional<model::SystemModel> load_model(const std::string& path);
 
 /// Characterizes `options`' configuration, caching the result under
-/// `cache_dir/<config>-<seed>.model`. Prints progress to stdout.
+/// `cache_dir/<config>-<seed>.model`. Prints progress to stdout — unless
+/// `progress_log` is given, in which case the progress lines are appended
+/// there instead so parallel campaign replicas (harness/campaign.hpp) stay
+/// silent and the caller can replay the logs in replica order.
 model::SystemModel characterize_cached(const TestbedOptions& options,
                                        const std::string& cache_dir,
-                                       const Phase1Options& phase1 = {});
+                                       const Phase1Options& phase1 = {},
+                                       std::string* progress_log = nullptr);
 
 /// Default cache directory for the bench binaries.
 std::string default_cache_dir();

@@ -1,8 +1,23 @@
 #include "availsim/net/channel.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace availsim::net {
+
+namespace {
+
+// Flushes replay in park order: parked_ is a hash map, so the per-flow
+// buckets come out in an order that depends on the library's hashing —
+// sorting by the park sequence restores the chronological order the
+// packets were held in, keeping runs bit-for-bit reproducible.
+void sort_by_park_order(std::vector<FlowTable::PendingSend>& sends) {
+  std::sort(sends.begin(), sends.end(),
+            [](const FlowTable::PendingSend& a,
+               const FlowTable::PendingSend& b) { return a.seq < b.seq; });
+}
+
+}  // namespace
 
 sim::Time FlowTable::sequence(NodeId src, NodeId dst, sim::Time proposed) {
   auto& last = last_delivery_[key(src, dst)];
@@ -12,6 +27,7 @@ sim::Time FlowTable::sequence(NodeId src, NodeId dst, sim::Time proposed) {
 }
 
 void FlowTable::park(NodeId src, NodeId dst, PendingSend send) {
+  send.seq = next_park_seq_++;
   parked_[key(src, dst)].push_back(std::move(send));
 }
 
@@ -27,6 +43,7 @@ std::vector<FlowTable::PendingSend> FlowTable::take_parked_touching(NodeId node)
       ++it;
     }
   }
+  sort_by_park_order(out);
   return out;
 }
 
@@ -36,6 +53,7 @@ std::vector<FlowTable::PendingSend> FlowTable::take_all_parked() {
     for (auto& p : vec) out.push_back(std::move(p));
   }
   parked_.clear();
+  sort_by_park_order(out);
   return out;
 }
 
@@ -50,6 +68,7 @@ std::vector<FlowTable::PendingSend> FlowTable::take_parked_to(NodeId dst) {
       ++it;
     }
   }
+  sort_by_park_order(out);
   return out;
 }
 

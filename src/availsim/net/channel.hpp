@@ -22,6 +22,11 @@ class FlowTable {
   struct PendingSend {
     Packet packet;
     std::function<void()> on_refused;
+    /// Park order, assigned by park(). Every drain returns sends sorted by
+    /// this, so link-repair flushes replay in the chronological order the
+    /// packets were parked — independent of the hash order of parked_
+    /// (bit-for-bit reproducibility across platforms and library versions).
+    std::uint64_t seq = 0;
   };
 
   /// In-order constraint: returns the earliest allowed delivery time for a
@@ -33,14 +38,15 @@ class FlowTable {
   void park(NodeId src, NodeId dst, PendingSend send);
 
   /// Removes and returns every parked packet whose flow touches `node`
-  /// (used when a link is repaired).
+  /// (used when a link is repaired), in park order.
   std::vector<PendingSend> take_parked_touching(NodeId node);
 
-  /// Removes and returns all parked packets (used on switch repair).
+  /// Removes and returns all parked packets (used on switch repair), in
+  /// park order.
   std::vector<PendingSend> take_all_parked();
 
   /// Discards parked packets destined to `dst` (e.g. the destination node
-  /// crashed while unreachable; TCP would eventually reset).
+  /// crashed while unreachable; TCP would eventually reset). In park order.
   std::vector<PendingSend> take_parked_to(NodeId dst);
 
   std::size_t parked_count() const;
@@ -53,6 +59,7 @@ class FlowTable {
 
   std::unordered_map<std::uint64_t, sim::Time> last_delivery_;
   std::unordered_map<std::uint64_t, std::vector<PendingSend>> parked_;
+  std::uint64_t next_park_seq_ = 1;
 };
 
 }  // namespace availsim::net

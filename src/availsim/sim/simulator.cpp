@@ -5,40 +5,72 @@
 
 namespace availsim::sim {
 
-EventId Simulator::schedule_at(Time t, std::function<void()> fn) {
+std::uint32_t Simulator::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot].live = true;
+    return slot;
+  }
+  slots_.push_back(Slot{1, true, false});
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.live = false;
+  s.cancelled = false;
+  if (++s.generation == 0) s.generation = 1;  // keep ids != kInvalidEvent
+  free_slots_.push_back(slot);
+}
+
+EventId Simulator::schedule_at(Time t, EventFn fn) {
   if (t < now_) t = now_;
-  EventId id = next_id_++;
-  queue_.push(Event{t, id, std::move(fn)});
+  const std::uint32_t slot = acquire_slot();
+  const EventId id =
+      (static_cast<EventId>(slots_[slot].generation) << 32) | slot;
+  queue_.push(Event{t, next_seq_++, slot, std::move(fn)});
   return id;
 }
 
-EventId Simulator::schedule_after(Time delay, std::function<void()> fn) {
+EventId Simulator::schedule_after(Time delay, EventFn fn) {
   if (delay < 0) delay = 0;
   return schedule_at(now_ + delay, std::move(fn));
 }
 
 void Simulator::cancel(EventId id) {
-  if (id != kInvalidEvent) cancelled_.insert(id);
+  if (id == kInvalidEvent) return;
+  const auto slot = static_cast<std::uint32_t>(id);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (!s.live || s.generation != generation || s.cancelled) return;
+  s.cancelled = true;
+  ++cancelled_pending_;
+}
+
+void Simulator::purge_cancelled_head() {
+  while (!queue_.empty() && slots_[queue_.top().slot].cancelled) {
+    const std::uint32_t slot = queue_.top().slot;
+    queue_.pop();
+    --cancelled_pending_;
+    release_slot(slot);
+  }
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    // priority_queue::top returns const&; the handler is moved out before
-    // pop so that events scheduled from inside `fn` are safe.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    assert(ev.t >= now_);
-    now_ = ev.t;
-    ++processed_;
-    ev.fn();
-    return true;
-  }
-  return false;
+  purge_cancelled_head();
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the event is moved out before pop
+  // so that events scheduled from inside `fn` are safe.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  release_slot(ev.slot);
+  assert(ev.t >= now_);
+  now_ = ev.t;
+  ++processed_;
+  ev.fn();
+  return true;
 }
 
 void Simulator::run() {
@@ -49,7 +81,11 @@ void Simulator::run() {
 
 void Simulator::run_until(Time t) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.top().t <= t) {
+  while (!stopped_) {
+    // Purge before the time check: a cancelled tombstone at the head must
+    // not let step() run a later-than-t event (or advance the clock).
+    purge_cancelled_head();
+    if (queue_.empty() || queue_.top().t > t) break;
     step();
   }
   if (now_ < t) now_ = t;

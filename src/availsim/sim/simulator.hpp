@@ -1,11 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "availsim/sim/event_fn.hpp"
 #include "availsim/sim/time.hpp"
 
 namespace availsim::sim {
@@ -19,7 +18,15 @@ inline constexpr EventId kInvalidEvent = 0;
 /// Events scheduled for the same instant fire in scheduling order (FIFO),
 /// which makes every run bit-for-bit reproducible for a fixed RNG seed.
 /// All of the cluster substrate (network, disks, servers, fault injector,
-/// clients) runs on one Simulator instance.
+/// clients) runs on one Simulator instance. Parallel campaigns (see
+/// harness/campaign.hpp) give each replica its own private Simulator.
+///
+/// Cancellation is O(1) via slot+generation handles: cancel() flips a flag
+/// in the event's slot, the queue entry becomes a tombstone that is purged
+/// lazily when it reaches the head, and the slot is recycled afterwards.
+/// Cancelling an already-fired id is an exact no-op (the generation no
+/// longer matches), so stale handles neither accumulate state nor ever
+/// cancel an unrelated newer event.
 class Simulator {
  public:
   Simulator() = default;
@@ -31,23 +38,25 @@ class Simulator {
 
   /// Schedules `fn` to run at absolute time `t` (>= now). Returns an id
   /// that can be passed to cancel().
-  EventId schedule_at(Time t, std::function<void()> fn);
+  EventId schedule_at(Time t, EventFn fn);
 
   /// Schedules `fn` to run `delay` after now. Negative delays are clamped
   /// to zero (fire "immediately", after already-queued events at now()).
-  EventId schedule_after(Time delay, std::function<void()> fn);
+  EventId schedule_after(Time delay, EventFn fn);
 
   /// Cancels a pending event. Cancelling an already-fired or invalid id is
   /// a no-op, so callers may keep stale handles safely.
   void cancel(EventId id);
 
-  /// Runs a single event. Returns false when the queue is empty.
+  /// Runs a single live event. Returns false when no live events remain.
   bool step();
 
   /// Runs until the queue is empty or stop() is called.
   void run();
 
-  /// Runs all events with timestamp <= t, then advances now() to t.
+  /// Runs all live events with timestamp <= t, then advances now() to t.
+  /// Events after t — including any hiding behind cancelled tombstones at
+  /// the head of the queue — are left pending.
   void run_until(Time t);
 
   /// Makes run()/run_until() return after the current event completes.
@@ -56,28 +65,41 @@ class Simulator {
   /// Number of events executed so far (diagnostics / microbenchmarks).
   std::uint64_t events_processed() const { return processed_; }
 
-  /// Number of events currently pending (including cancelled tombstones).
-  std::size_t pending() const { return queue_.size(); }
+  /// Number of live (non-cancelled) events currently pending.
+  std::size_t pending() const { return queue_.size() - cancelled_pending_; }
 
  private:
   struct Event {
     Time t;
-    EventId id;
-    std::function<void()> fn;
+    std::uint64_t seq;   // global schedule order; FIFO tie-break at same t
+    std::uint32_t slot;  // handle slot; generation lives in slots_
+    EventFn fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.t != b.t) return a.t > b.t;
-      return a.id > b.id;  // FIFO among same-time events
+      return a.seq > b.seq;
     }
   };
+  struct Slot {
+    std::uint32_t generation = 1;  // never 0, so an id is never kInvalidEvent
+    bool live = false;
+    bool cancelled = false;
+  };
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  /// Pops cancelled tombstones off the head so queue_.top() is live.
+  void purge_cancelled_head();
 
   Time now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
+  std::size_t cancelled_pending_ = 0;
   bool stopped_ = false;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace availsim::sim

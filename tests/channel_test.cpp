@@ -58,6 +58,47 @@ TEST(FlowTable, TakeParkedToFiltersByDestination) {
   EXPECT_EQ(ft.parked_count(), 1u);
 }
 
+// Regression: parked_ is a hash map, and the drains used to return its
+// hash-iteration order (for flows (i, 0) that is *reverse* park order on
+// libstdc++), making link-repair replay platform/run-dependent. Every
+// drain must return chronological park order.
+TEST(FlowTable, TakeAllParkedReturnsParkOrder) {
+  FlowTable ft;
+  for (int i = 1; i <= 7; ++i) ft.park(i, 0, make_send(i, 0, i));
+  auto all = ft.take_all_parked();
+  ASSERT_EQ(all.size(), 7u);
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(all[static_cast<size_t>(i)].packet.port, i + 1);
+}
+
+TEST(FlowTable, TakeParkedTouchingReturnsParkOrder) {
+  FlowTable ft;
+  // Interleave flows into node 0 with unrelated flows; park order is the
+  // tag order 1..8.
+  ft.park(3, 0, make_send(3, 0, 1));
+  ft.park(5, 6, make_send(5, 6, 2));
+  ft.park(1, 0, make_send(1, 0, 3));
+  ft.park(0, 4, make_send(0, 4, 4));
+  ft.park(7, 0, make_send(7, 0, 5));
+  ft.park(6, 5, make_send(6, 5, 6));
+  ft.park(2, 0, make_send(2, 0, 7));
+  ft.park(3, 0, make_send(3, 0, 8));
+  auto touching = ft.take_parked_touching(0);
+  ASSERT_EQ(touching.size(), 6u);
+  const int expected[] = {1, 3, 4, 5, 7, 8};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(touching[static_cast<size_t>(i)].packet.port, expected[i]);
+  }
+  EXPECT_EQ(ft.parked_count(), 2u);
+}
+
+TEST(FlowTable, TakeParkedToReturnsParkOrder) {
+  FlowTable ft;
+  for (int i = 1; i <= 5; ++i) ft.park(6 - i, 9, make_send(6 - i, 9, i));
+  auto to9 = ft.take_parked_to(9);
+  ASSERT_EQ(to9.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(to9[static_cast<size_t>(i)].packet.port, i + 1);
+}
+
 TEST(FlowTable, NegativeNodeIdsDoNotCollide) {
   // key() packs two 32-bit ids; sign-extension must not alias flows.
   FlowTable ft;

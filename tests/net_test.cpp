@@ -249,5 +249,52 @@ TEST_F(NetTest, TwoNetworksShareHostStateButNotLinks) {
   EXPECT_EQ(ok, 1);
 }
 
+// Seven hosts each park one reliable send to host 0 while its link is
+// down; the repair flush must replay them and the trace of delivered
+// source ids is returned.
+std::vector<int> link_repair_delivery_trace(std::uint64_t seed) {
+  sim::Simulator sim;
+  NetworkParams p;
+  p.name = "trace";
+  p.base_latency = 100 * sim::kMicrosecond;
+  p.max_jitter = 0;
+  Network net(sim, sim::Rng(seed), p);
+  std::vector<std::unique_ptr<Host>> hosts;
+  for (int i = 0; i < 8; ++i) {
+    hosts.push_back(std::make_unique<Host>(sim, i, "n" + std::to_string(i)));
+    net.attach(*hosts.back());
+  }
+  std::vector<int> trace;
+  hosts[0]->bind(100, [&](const Packet& pkt) {
+    trace.push_back(body_as<Probe>(pkt).value);
+  });
+  net.set_link_up(0, false);
+  for (int i = 1; i <= 7; ++i) {
+    Network::SendOptions o;
+    o.reliable = true;
+    net.send(i, 0, 100, 200, make_body<Probe>(Probe{i}), std::move(o));
+  }
+  sim.run_until(sim::kSecond);
+  net.set_link_up(0, true);
+  sim.run();
+  return trace;
+}
+
+// Regression: the repair flush drained a hash map in iteration order (on
+// libstdc++, reverse park order for these flows), so the replayed burst —
+// and every downstream event it triggers — depended on the hash layout.
+// The flush must replay parked sends in chronological park order.
+TEST(NetworkDeterminism, LinkRepairFlushReplaysInParkOrder) {
+  EXPECT_EQ(link_repair_delivery_trace(1),
+            (std::vector<int>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(NetworkDeterminism, IdenticallySeededRunsProduceIdenticalTraces) {
+  const auto a = link_repair_delivery_trace(42);
+  const auto b = link_repair_delivery_trace(42);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 7u);
+}
+
 }  // namespace
 }  // namespace availsim::net

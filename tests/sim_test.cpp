@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "availsim/sim/rng.hpp"
@@ -105,6 +107,108 @@ TEST(Simulator, RunUntilLeavesLaterEventsPending) {
   EXPECT_EQ(sim.now(), 5 * kSecond);
   sim.run();
   EXPECT_TRUE(late);
+}
+
+// Regression: a cancelled tombstone at the head of the queue must not let
+// run_until(t) execute an event with timestamp > t (step() used to pop the
+// tombstone and then run the *next* real event regardless of its time).
+TEST(Simulator, RunUntilDoesNotRunPastTargetBehindCancelledHead) {
+  Simulator sim;
+  bool late = false;
+  EventId head = sim.schedule_at(kSecond, [] {});
+  sim.schedule_at(10 * kSecond, [&] { late = true; });
+  sim.cancel(head);
+  sim.run_until(5 * kSecond);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.now(), 5 * kSecond);
+  sim.run();
+  EXPECT_TRUE(late);
+  EXPECT_EQ(sim.now(), 10 * kSecond);
+}
+
+// Regression: pending() must report live events, not cancelled tombstones
+// still sitting in the queue.
+TEST(Simulator, PendingCountsLiveEventsOnly) {
+  Simulator sim;
+  EventId a = sim.schedule_at(1 * kSecond, [] {});
+  sim.schedule_at(2 * kSecond, [] {});
+  sim.schedule_at(3 * kSecond, [] {});
+  EXPECT_EQ(sim.pending(), 3u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);  // double-cancel must not double-count
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+// Regression: cancelling already-fired or never-live ids over and over must
+// stay an exact no-op — it used to insert a tombstone per call into a set
+// that was never drained, and it must never kill a newer event whose
+// handle slot was recycled.
+TEST(Simulator, StaleCancelsAreNoopsAndNeverHitRecycledSlots) {
+  Simulator sim;
+  std::vector<EventId> fired_ids;
+  for (int i = 0; i < 16; ++i) {
+    fired_ids.push_back(sim.schedule_at(i * kSecond, [] {}));
+  }
+  sim.run();
+  int count = 0;
+  // New events recycle the fired events' handle slots.
+  for (int i = 0; i < 16; ++i) {
+    sim.schedule_after(kSecond, [&] { ++count; });
+  }
+  for (int repeat = 0; repeat < 1000; ++repeat) {
+    for (EventId stale : fired_ids) sim.cancel(stale);
+  }
+  EXPECT_EQ(sim.pending(), 16u);
+  sim.run();
+  EXPECT_EQ(count, 16);
+}
+
+TEST(Simulator, RunUntilPurgesCancelledHeadWithoutAdvancingClock) {
+  Simulator sim;
+  EventId head = sim.schedule_at(kSecond, [] {});
+  sim.cancel(head);
+  sim.run_until(kSecond / 2);
+  EXPECT_EQ(sim.now(), kSecond / 2);
+  EXPECT_EQ(sim.events_processed(), 0u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, MoveOnlyCallablesCanBeScheduled) {
+  // EventFn is move-only, so captures that std::function rejects work.
+  Simulator sim;
+  auto payload = std::make_unique<int>(41);
+  int seen = 0;
+  sim.schedule_after(kSecond, [p = std::move(payload), &seen] { seen = *p + 1; });
+  sim.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(Simulator, LargeCapturesFallBackToHeapCorrectly) {
+  Simulator sim;
+  std::array<std::uint64_t, 64> big{};  // 512 bytes: beyond inline storage
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = i;
+  std::uint64_t sum = 0;
+  sim.schedule_after(kSecond, [big, &sum] {
+    for (auto v : big) sum += v;
+  });
+  sim.run();
+  EXPECT_EQ(sum, 64u * 63u / 2u);
+}
+
+TEST(Simulator, CancelInterleavedWithSameTimeEventsKeepsFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(sim.schedule_at(kSecond, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 1; i < 10; i += 2) sim.cancel(ids[static_cast<size_t>(i)]);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 8}));
 }
 
 TEST(Simulator, StopHaltsRun) {
