@@ -101,6 +101,7 @@ void fme_probe_sweep() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  harness::parse_trace_flags(argc, argv);
   const int jobs = harness::parse_jobs_flag(argc, argv, 0);
   std::printf("Ablations: sensitivity to the paper's design constants\n\n");
   heartbeat_sweep(jobs);

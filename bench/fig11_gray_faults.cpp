@@ -120,6 +120,7 @@ std::string json_row(const char* name, bool hardened, const RunResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  harness::parse_trace_flags(argc, argv);
   const int jobs = harness::parse_jobs_flag(argc, argv, 0);
   const double horizon_s = argc > 1 ? std::atof(argv[1]) : 1800.0;
   const std::uint64_t seed =

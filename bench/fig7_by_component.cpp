@@ -26,6 +26,7 @@
 using namespace availsim;
 
 int main(int argc, char** argv) {
+  harness::parse_trace_flags(argc, argv);
   const int jobs = harness::parse_jobs_flag(argc, argv, 0);
   const std::string cache = harness::default_cache_dir();
 

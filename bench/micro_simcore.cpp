@@ -203,6 +203,7 @@ int main(int argc, char** argv) {
   int jobs = 0;
   bool quick = false;
   // Strip our flags before google-benchmark sees argv.
+  harness::parse_trace_flags(argc, argv);
   jobs = harness::parse_jobs_flag(argc, argv, 0);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "availsim/trace/trace.hpp"
+
 namespace availsim::disk {
 
 Disk::Disk(sim::Simulator& simulator, DiskParams params)
@@ -41,6 +43,10 @@ void Disk::start_next() {
 void Disk::fail_timeout() {
   if (state_ == State::kTimeoutFault) return;
   state_ = State::kTimeoutFault;
+  if (trace_node_ >= 0) {
+    trace::emit(sim_, trace::Category::kDisk, trace::Kind::kDiskFail,
+                trace_node_, trace_index_);
+  }
   if (busy_) {
     // The in-flight op hangs: cancel its completion and put it back at the
     // head of the queue so it retries after repair.
@@ -56,6 +62,11 @@ void Disk::degrade(double factor) {
   if (state_ == State::kTimeoutFault) return;  // dead beats limping
   state_ = State::kDegraded;
   slow_factor_ = factor < 1 ? 1 : factor;
+  if (trace_node_ >= 0) {
+    trace::emit(sim_, trace::Category::kDisk, trace::Kind::kDiskDegrade,
+                trace_node_, trace_index_,
+                static_cast<std::int64_t>(slow_factor_ * 100));
+  }
   // The in-flight op keeps its already-scheduled completion; everything
   // after it is served at the degraded rate.
 }
@@ -64,6 +75,10 @@ void Disk::repair() {
   if (state_ == State::kOk) return;
   state_ = State::kOk;
   slow_factor_ = 1.0;
+  if (trace_node_ >= 0) {
+    trace::emit(sim_, trace::Category::kDisk, trace::Kind::kDiskRepair,
+                trace_node_, trace_index_);
+  }
   start_next();
 }
 

@@ -67,6 +67,13 @@ class Disk {
 
   double slow_factor() const { return slow_factor_; }
 
+  /// Labels this disk for structured tracing (owning node id + index on
+  /// that node). Without a label, fault-state transitions are not traced.
+  void set_trace_identity(std::int32_t node, std::int64_t index) {
+    trace_node_ = node;
+    trace_index_ = index;
+  }
+
   /// Drops all queued and in-flight operations without completing them
   /// (used when the owning process is killed/restarted).
   void purge();
@@ -83,6 +90,8 @@ class Disk {
 
   sim::Simulator& sim_;
   DiskParams params_;
+  std::int32_t trace_node_ = -1;
+  std::int64_t trace_index_ = 0;
   State state_ = State::kOk;
   double slow_factor_ = 1.0;
   bool busy_ = false;

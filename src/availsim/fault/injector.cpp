@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "availsim/trace/trace.hpp"
+
 namespace availsim::fault {
 
 FaultInjector::FaultInjector(sim::Simulator& simulator, FaultTarget& target,
@@ -20,6 +22,9 @@ void FaultInjector::fire(bool is_repair, FaultType type, int component) {
   // logged and the target hooks do not run (double repairs would
   // otherwise fire spurious reboots and double-log Events).
   if (is_repair != is_active(type, component)) return;
+  trace::emit(sim_, trace::Category::kFault,
+              is_repair ? trace::Kind::kFaultRepair : trace::Kind::kFaultInject,
+              component, static_cast<std::int64_t>(type));
   Event ev{sim_.now(), is_repair, type, component};
   log_.push_back(ev);
   if (is_repair) {

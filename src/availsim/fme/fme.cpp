@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "availsim/trace/trace.hpp"
 #include "availsim/workload/http.hpp"
 
 namespace availsim::fme {
@@ -33,6 +34,8 @@ void FmeDaemon::start() {
     }
   });
   arm();
+  trace::emit(sim_, trace::Category::kFme, trace::Kind::kFmeStart,
+              host_.id());
 }
 
 void FmeDaemon::on_host_crashed() {
@@ -91,15 +94,21 @@ bool FmeDaemon::disk_faulty() const {
 void FmeDaemon::on_probe_result(bool ok) {
   if (ok) {
     consecutive_failures_ = 0;
+    trace::emit(sim_, trace::Category::kFme, trace::Kind::kFmeProbeOk,
+                host_.id());
     return;
   }
   ++stats_.probe_failures;
+  trace::emit(sim_, trace::Category::kFme, trace::Kind::kFmeProbeFail,
+              host_.id());
   if (++consecutive_failures_ < p_.confirm) return;
 
   if (disk_faulty()) {
     // Unmodeled fault (SCSI timeout wedging the server) -> modeled fault
     // (node crash): take the node offline for repair.
     ++stats_.offline_actions;
+    trace::emit(sim_, trace::Category::kFme, trace::Kind::kFmeOffline,
+                host_.id());
     if (on_marker) on_marker("fme_offline", host_.id());
     if (take_node_offline) take_node_offline();
     return;
@@ -111,6 +120,8 @@ void FmeDaemon::on_probe_result(bool ok) {
   last_restart_ = sim_.now();
   consecutive_failures_ = 0;
   ++stats_.restart_actions;
+  trace::emit(sim_, trace::Category::kFme, trace::Kind::kFmeRestart,
+              host_.id());
   if (on_marker) on_marker("fme_restart", host_.id());
   if (restart_application) restart_application();
 }

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "availsim/trace/trace.hpp"
+
 namespace availsim::frontend {
 
 Monitor::Monitor(sim::Simulator& simulator, net::Network& client_net,
@@ -101,6 +103,8 @@ void Monitor::record(net::NodeId target, bool ok) {
     s.misses = 0;
     if (!s.up) {
       s.up = true;
+      trace::emit(sim_, trace::Category::kFrontend, trace::Kind::kFeUnmask,
+                  target);
       if (on_status) on_status(target, true);
     }
     return;
@@ -108,6 +112,8 @@ void Monitor::record(net::NodeId target, bool ok) {
   ++s.misses;
   if (s.up && s.misses >= tolerance) {
     s.up = false;
+    trace::emit(sim_, trace::Category::kFrontend, trace::Kind::kFeMask,
+                target);
     if (on_status) on_status(target, false);
   }
 }

@@ -45,6 +45,28 @@ int parse_jobs_flag(int& argc, char** argv, int def) {
   return resolve_jobs(jobs);
 }
 
+void parse_trace_flags(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--audit") == 0) {
+      ::setenv("AVAILSIM_AUDIT", "1", 1);
+      continue;
+    }
+    if (std::strcmp(arg, "--trace") == 0) {
+      ::setenv("AVAILSIM_TRACE_DIR", ".", 1);
+      continue;
+    }
+    if (std::strncmp(arg, "--trace=", 8) == 0) {
+      ::setenv("AVAILSIM_TRACE_DIR", arg + 8, 1);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  argv[argc] = nullptr;
+}
+
 namespace detail {
 
 void run_indexed(int jobs, int count, const std::function<void(int)>& task) {

@@ -21,6 +21,13 @@ int resolve_jobs(int requested = 0);
 /// or resolve_jobs(def) when the flag is absent.
 int parse_jobs_flag(int& argc, char** argv, int def = 1);
 
+/// Extracts `--audit`, `--trace` and `--trace=DIR` from argv (compacting
+/// argc/argv exactly like parse_jobs_flag) and maps them onto the
+/// environment switches every Testbed honours: `--audit` sets
+/// AVAILSIM_AUDIT=1 (online invariant auditing), `--trace[=DIR]` sets
+/// AVAILSIM_TRACE_DIR (JSONL export on teardown; DIR defaults to ".").
+void parse_trace_flags(int& argc, char** argv);
+
 namespace detail {
 
 /// Runs task(i) for every i in [0, count) on up to `jobs` threads. Indices

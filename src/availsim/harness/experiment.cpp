@@ -50,6 +50,16 @@ int representative_component(const TestbedOptions& options,
 
 namespace {
 
+// Trace files from campaign replicas must carry names derived from the work
+// item (never scheduling order) so `--jobs N` output matches `--jobs 1`.
+std::string trace_slug(fault::FaultType type, int component) {
+  std::string s = fault::to_string(type);
+  for (char& c : s) {
+    if (c == ' ') c = '-';
+  }
+  return "-" + s + "-c" + std::to_string(component);
+}
+
 std::vector<double> series_from(const workload::Recorder& rec) {
   std::vector<double> out;
   out.reserve(rec.success_bins().size());
@@ -64,7 +74,9 @@ std::vector<double> series_from(const workload::Recorder& rec) {
 double measure_fault_free_throughput(const TestbedOptions& options,
                                      sim::Time measure) {
   sim::Simulator sim;
-  Testbed tb(sim, options);
+  TestbedOptions opts = options;
+  opts.trace_label += "-t0";
+  Testbed tb(sim, opts);
   tb.start();
   sim.run_until(options.warmup);
   sim.run_until(options.warmup + measure);
@@ -76,7 +88,9 @@ Phase1Result run_single_fault(const TestbedOptions& options,
                               fault::FaultType type, int component,
                               const Phase1Options& phase1) {
   sim::Simulator sim;
-  Testbed tb(sim, options);
+  TestbedOptions opts = options;
+  opts.trace_label += trace_slug(type, component);
+  Testbed tb(sim, opts);
   sim::Rng rng(options.seed ^ 0x5EED);
   fault::FaultInjector injector(sim, tb, rng.fork(9));
   injector.on_event = [&tb](const fault::FaultInjector::Event& ev) {
@@ -156,7 +170,9 @@ model::SystemModel characterize(const TestbedOptions& options,
 double simulate_expected_load(const TestbedOptions& options, sim::Time horizon,
                               bool serialize) {
   sim::Simulator sim;
-  Testbed tb(sim, options);
+  TestbedOptions opts = options;
+  opts.trace_label += "-expload";
+  Testbed tb(sim, opts);
   sim::Rng rng(options.seed ^ 0xFA11);
   fault::FaultInjector injector(sim, tb, rng.fork(3));
   tb.start();

@@ -3,6 +3,9 @@
 #include "availsim/workload/zipf.hpp"
 
 #include <cassert>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <utility>
 
 namespace availsim::harness {
@@ -13,6 +16,12 @@ constexpr sim::Time kRebootDelay = 20 * sim::kSecond;
 constexpr sim::Time kAppRestartDelay = 5 * sim::kSecond;
 constexpr sim::Time kOfflineWatchPeriod = 10 * sim::kSecond;
 constexpr sim::Time kOperatorCheckPeriod = 30 * sim::kSecond;
+constexpr sim::Time kAuditTickPeriod = 30 * sim::kSecond;
+
+bool env_truthy(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
 }  // namespace
 
 const char* to_string(ServerConfig config) {
@@ -76,10 +85,66 @@ press::PressParams Testbed::press_params_for_config() const {
 
 Testbed::Testbed(sim::Simulator& simulator, TestbedOptions options)
     : sim_(simulator), opts_(options), rng_(options.seed) {
+  setup_tracing();
   build();
 }
 
-Testbed::~Testbed() = default;
+Testbed::~Testbed() {
+  if (tracer_ && !trace_export_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(trace_export_dir_, ec);
+    const std::string path = trace_export_dir_ + "/availtrace-" +
+                             to_string(opts_.config) + "-s" +
+                             std::to_string(opts_.seed) + opts_.trace_label +
+                             ".jsonl";
+    std::ofstream out(path);
+    if (out) tracer_->export_jsonl(out);
+  }
+  // The Simulator outlives this Testbed in most tests; detach before the
+  // tracer is destroyed so late events cannot emit into freed memory.
+  if (tracer_ && sim_.tracer() == tracer_.get()) sim_.set_tracer(nullptr);
+}
+
+void Testbed::setup_tracing() {
+  const bool audit_on = opts_.audit || env_truthy("AVAILSIM_AUDIT");
+  if (const char* dir = std::getenv("AVAILSIM_TRACE_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    trace_export_dir_ = dir;
+  }
+  if (!audit_on && !opts_.trace && trace_export_dir_.empty()) return;
+
+  trace::TracerOptions topts;
+  topts.mask = opts_.trace_mask;
+  topts.capacity = opts_.trace_capacity;
+  tracer_ = std::make_unique<trace::Tracer>(topts);
+  sim_.set_tracer(tracer_.get());
+
+  if (!audit_on) return;
+  const press::PressParams p = press_params_for_config();
+  trace::AuditorConfig cfg;
+  if (p.membership == press::PressParams::Membership::kInternalRing) {
+    cfg.hb_deadline = p.heartbeat_tolerance * p.heartbeat_period +
+                      p.heartbeat_period / 2;
+  }
+  cfg.qmon_enabled = p.qmon.enabled;
+  cfg.reroute_requests = static_cast<std::int64_t>(p.qmon.reroute_requests);
+  cfg.fail_requests = static_cast<std::int64_t>(p.qmon.fail_requests);
+  cfg.fail_total = static_cast<std::int64_t>(p.qmon.fail_total);
+  const fme::FmeParams fme_defaults;
+  cfg.fme_confirm = fme_defaults.confirm;
+  cfg.fme_restart_cooldown = fme_defaults.restart_cooldown;
+  auditor_ = std::make_unique<trace::Auditor>(*tracer_, cfg);
+}
+
+void Testbed::arm_audit_tick() {
+  sim_.schedule_after(kAuditTickPeriod, [this] {
+    // Observationally neutral: the tick only feeds the auditor a marker to
+    // run its quiescence checks on — no testbed or RNG state is touched, so
+    // availability results are identical with auditing on or off.
+    trace::emit(sim_, trace::Category::kHarness, trace::Kind::kAuditTick, -1);
+    arm_audit_tick();
+  });
+}
 
 void Testbed::build() {
   net::NetworkParams cluster_params;
@@ -112,6 +177,7 @@ void Testbed::build() {
     client_net_->attach(*s.host);
     for (int d = 0; d < press_params.disk_count; ++d) {
       s.disks.push_back(std::make_unique<disk::Disk>(sim_, press_params.disk));
+      s.disks.back()->set_trace_identity(i, d);
     }
     std::vector<disk::Disk*> disk_ptrs;
     for (auto& d : s.disks) disk_ptrs.push_back(d.get());
@@ -254,6 +320,8 @@ void Testbed::start() {
   for (auto& c : clients_) c->start();
   arm_offline_watcher();
   if (opts_.operator_enabled) arm_operator();
+  trace::emit(sim_, trace::Category::kHarness, trace::Kind::kTestbedStart, -1);
+  if (auditor_) arm_audit_tick();
   note("testbed_start");
 }
 
@@ -549,6 +617,7 @@ void Testbed::arm_operator() {
 }
 
 void Testbed::operator_reset() {
+  trace::emit(sim_, trace::Category::kHarness, trace::Kind::kOperatorReset, -1);
   note("operator_reset");
   sim::Time delay = 0;
   for (std::size_t i = 0; i < servers_.size(); ++i) {

@@ -14,6 +14,7 @@
 #include "availsim/membership/client_lib.hpp"
 #include "availsim/membership/member_server.hpp"
 #include "availsim/press/press_node.hpp"
+#include "availsim/trace/auditor.hpp"
 #include "availsim/workload/client.hpp"
 #include "availsim/workload/recorder.hpp"
 
@@ -67,6 +68,19 @@ struct TestbedOptions {
   /// heartbeats + 2PC retry in the membership daemon, service-age slow-peer
   /// rerouting in qmon, retrying pings in the FE monitor.
   bool hardened_detectors = false;
+  /// Structured tracing + online invariant auditing (trace/auditor.hpp).
+  /// `audit` attaches the auditor (and implies a tracer); `trace` attaches
+  /// a tracer alone. AVAILSIM_AUDIT=1 in the environment force-enables the
+  /// auditor for every Testbed; AVAILSIM_TRACE_DIR=<dir> additionally
+  /// exports each run's retained trace as JSONL on teardown.
+  bool audit = false;
+  bool trace = false;
+  std::uint32_t trace_mask = trace::kProtocolCategories;
+  std::size_t trace_capacity = std::size_t{1} << 16;
+  /// Suffix distinguishing per-replica trace files in campaign runs (kept
+  /// deterministic under --jobs N by deriving it from the work item, never
+  /// from wall-clock or scheduling order).
+  std::string trace_label;
 };
 
 /// One fully wired instance of the paper's experimental environment: the
@@ -107,6 +121,8 @@ class Testbed : public fault::FaultTarget {
   fme::FmeDaemon* fme_daemon(int i);
   fme::SfmeMonitor* sfme() { return sfme_.get(); }
   workload::Recorder& recorder() { return *recorder_; }
+  trace::Tracer* tracer() { return tracer_.get(); }
+  trace::Auditor* auditor() { return auditor_.get(); }
   net::Network& cluster_net() { return *cluster_net_; }
   net::Network& client_net() { return *client_net_; }
   double offered_rps() const { return opts_.offered_rps; }
@@ -152,10 +168,16 @@ class Testbed : public fault::FaultTarget {
   void arm_offline_watcher();
   void arm_operator();
   bool fault_active(fault::FaultType type, int component) const;
+  void setup_tracing();
+  void arm_audit_tick();
 
   sim::Simulator& sim_;
   TestbedOptions opts_;
   sim::Rng rng_;
+
+  std::unique_ptr<trace::Tracer> tracer_;
+  std::unique_ptr<trace::Auditor> auditor_;
+  std::string trace_export_dir_;
 
   std::unique_ptr<net::Network> cluster_net_;
   std::unique_ptr<net::Network> client_net_;

@@ -3,11 +3,23 @@
 #include <algorithm>
 #include <utility>
 
+#include "availsim/trace/trace.hpp"
+
 namespace availsim::membership {
 
 namespace {
 constexpr std::size_t kSmallMsg = 96;
+
+using trace::Category;
+using trace::Kind;
+
+template <typename Members>
+std::uint64_t view_mask(const Members& members) {
+  std::uint64_t mask = 0;
+  for (net::NodeId m : members) mask |= trace::node_bit(m);
+  return mask;
 }
+}  // namespace
 
 MemberServer::MemberServer(sim::Simulator& simulator,
                            net::Network& cluster_net, net::Host& host,
@@ -57,6 +69,8 @@ void MemberServer::start() {
   arm_heartbeat_timer();
   arm_monitor_timer();
   arm_announce_timer();
+  trace::emit(sim_, Category::kMembership, Kind::kMemStart, id(),
+              static_cast<std::int64_t>(trace::node_bit(id())));
   mark("daemon_start");
 }
 
@@ -66,6 +80,7 @@ void MemberServer::on_host_crashed() {
   running_ = false;
   proposals_.clear();
   removing_.clear();
+  trace::emit(sim_, Category::kMembership, Kind::kMemStop, id());
   // The host already dropped our port bindings; the multicast subscription
   // is a switch-side state that persists, which is harmless (packets to a
   // dead host are dropped).
@@ -173,6 +188,7 @@ void MemberServer::check_neighbours() {
     }
     if (sim_.now() - it->second > suspect_deadline(nb) &&
         !removing_.contains(nb)) {
+      trace::emit(sim_, Category::kMembership, Kind::kMemSuspect, id(), nb);
       mark("suspect", nb);
       coordinate_change(/*add=*/false, nb, {});
     }
@@ -313,6 +329,10 @@ void MemberServer::handle_commit(const CommitChange& msg,
       msg.add && std::find(msg.new_view.begin(), msg.new_view.end(), id()) !=
                      msg.new_view.end();
   if (!trusted && !readmission) return;
+  trace::emit(sim_, Category::kMembership, Kind::kMemCommit, id(),
+              static_cast<std::int64_t>(msg.change_id),
+              static_cast<std::int64_t>(view_mask(msg.new_view)),
+              msg.add ? 1 : 0);
   if (!msg.add) removing_.erase(msg.subject);
   if (std::find(msg.new_view.begin(), msg.new_view.end(), id()) ==
       msg.new_view.end()) {
@@ -333,6 +353,8 @@ void MemberServer::install_view(std::vector<net::NodeId> members) {
   view_.insert(id());
   ++view_version_;
   joined_ = true;
+  trace::emit(sim_, Category::kMembership, Kind::kMemViewInstall, id(),
+              static_cast<std::int64_t>(view_mask(view_)), view_version_);
   // Grace: don't instantly suspect new neighbours.
   for (net::NodeId nb : neighbours()) last_seen_[nb] = sim_.now();
   publish();
@@ -376,7 +398,40 @@ void MemberServer::arm_announce_timer() {
 }
 
 void MemberServer::handle_alive(const AliveAnnounce& msg) {
-  if (view_.contains(msg.from)) return;
+  if (view_.contains(msg.from)) {
+    // Anti-entropy over the same announcements: a member can diverge from
+    // the group while staying *in* everyone's view — a flapping link eats a
+    // commit but not enough heartbeats to get it suspected, or two
+    // concurrent merge coordinators commit different unions and members
+    // apply them in different orders. The lowest-id member repairs the
+    // announcer.
+    if (id() != *view_.begin()) return;
+    std::set<net::NodeId> theirs(msg.members.begin(), msg.members.end());
+    theirs.insert(msg.from);
+    if (theirs == view_) return;
+    std::vector<net::NodeId> extra;
+    for (net::NodeId m : theirs) {
+      if (!view_.contains(m)) extra.push_back(m);
+    }
+    trace::emit(sim_, Category::kMembership, Kind::kMemMerge, id(), msg.from);
+    mark("anti_entropy", msg.from);
+    if (extra.empty()) {
+      // Their view is a strict subset of ours: they missed a commit. Push
+      // them the current view, the same refresh a stale joiner gets.
+      CommitChange refresh;
+      refresh.add = true;
+      refresh.subject = msg.from;
+      refresh.change_id = 0;
+      refresh.new_view.assign(view_.begin(), view_.end());
+      send_unicast(msg.from, MemberMsg{refresh});
+    } else {
+      // They hold members we lack: 2PC the union — the commit reaches the
+      // announcer too, so both sides land on one view. If the extra members
+      // are really dead the ring monitor removes them again.
+      coordinate_change(/*add=*/true, msg.from, std::move(extra));
+    }
+    return;
+  }
   // A daemon we can hear is not in our group: the groups should merge.
   // Our lowest-id member coordinates the union.
   if (id() != *view_.begin()) return;
@@ -384,6 +439,7 @@ void MemberServer::handle_alive(const AliveAnnounce& msg) {
   for (net::NodeId m : msg.members) {
     if (!view_.contains(m) && m != msg.from) extra.push_back(m);
   }
+  trace::emit(sim_, Category::kMembership, Kind::kMemMerge, id(), msg.from);
   mark("merge", msg.from);
   coordinate_change(/*add=*/true, msg.from, std::move(extra));
 }
@@ -396,6 +452,7 @@ void MemberServer::node_down_report(net::NodeId node) {
   if (!ok()) return;
   if (!view_.contains(node) || node == id()) return;
   if (removing_.contains(node)) return;
+  trace::emit(sim_, Category::kMembership, Kind::kMemDownReport, id(), node);
   mark("node_down_report", node);
   coordinate_change(/*add=*/false, node, {});
 }

@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "availsim/trace/trace.hpp"
+
 namespace availsim::net {
 
 Network::Network(sim::Simulator& simulator, sim::Rng rng, NetworkParams params)
@@ -38,8 +40,10 @@ LinkQuality Network::link_quality(NodeId id) const {
 void Network::set_link_quality(NodeId id, LinkQuality quality) {
   if (quality.degraded()) {
     quality_[id] = quality;
-  } else {
-    quality_.erase(id);
+    trace::emit(sim_, trace::Category::kNet, trace::Kind::kLinkDegraded, id,
+                static_cast<std::int64_t>(quality.loss * 1e6));
+  } else if (quality_.erase(id) > 0) {
+    trace::emit(sim_, trace::Category::kNet, trace::Kind::kLinkHealed, id);
   }
 }
 
@@ -86,6 +90,7 @@ void Network::start_link_flap(NodeId id, sim::Time down_time,
   flap.down_time = down_time;
   flap.up_time = up_time;
   ++flap.epoch;
+  trace::emit(sim_, trace::Category::kNet, trace::Kind::kFlapStart, id);
   set_link_up(id, false);  // injection begins with the down phase
   arm_flap(id, /*down_next=*/false);
 }
@@ -94,6 +99,7 @@ void Network::stop_link_flap(NodeId id) {
   auto it = flaps_.find(id);
   if (it == flaps_.end()) return;
   flaps_.erase(it);
+  trace::emit(sim_, trace::Category::kNet, trace::Kind::kFlapStop, id);
   set_link_up(id, true);
 }
 
@@ -151,6 +157,8 @@ void Network::transmit(Packet packet, SendOptions options) {
       // multicasts, acks) — the gray regime the detectors must survive.
       if (rng_.uniform() < loss) {
         ++lost_;
+        trace::emit(sim_, trace::Category::kNet, trace::Kind::kPacketLost,
+                    packet.src, packet.dst, packet.port);
         return;
       }
     } else {
@@ -252,6 +260,10 @@ void Network::multicast(NodeId src, int group, int port, std::size_t bytes,
 void Network::set_link_up(NodeId id, bool up) {
   const bool was = link_up(id);
   link_up_[id] = up;
+  if (up != was) {
+    trace::emit(sim_, trace::Category::kNet,
+                up ? trace::Kind::kLinkUp : trace::Kind::kLinkDown, id);
+  }
   if (up && !was && switch_up_) {
     flush(flows_.take_parked_touching(id));
   }
@@ -260,6 +272,10 @@ void Network::set_link_up(NodeId id, bool up) {
 void Network::set_switch_up(bool up) {
   const bool was = switch_up_;
   switch_up_ = up;
+  if (up != was) {
+    trace::emit(sim_, trace::Category::kNet,
+                up ? trace::Kind::kSwitchUp : trace::Kind::kSwitchDown, -1);
+  }
   if (up && !was) {
     flush(flows_.take_all_parked());
   }

@@ -4,7 +4,20 @@
 #include <cassert>
 #include <utility>
 
+#include "availsim/trace/trace.hpp"
+
 namespace availsim::press {
+
+namespace {
+using trace::Category;
+using trace::Kind;
+}  // namespace
+
+std::uint64_t PressNode::coop_mask() const {
+  std::uint64_t mask = 0;
+  for (net::NodeId n : coop_) mask |= trace::node_bit(n);
+  return mask;
+}
 
 PressNode::PressNode(sim::Simulator& simulator, net::Network& cluster_net,
                      net::Network& client_net, net::Host& host, sim::Rng rng,
@@ -88,6 +101,8 @@ void PressNode::start(bool prewarm) {
     arm_rejoin_timer();
   }
   if (prewarm) prewarm_cache();
+  trace::emit(sim_, Category::kPress, Kind::kPressStart, id(),
+              static_cast<std::int64_t>(coop_mask()));
   mark("start");
 }
 
@@ -141,18 +156,21 @@ void PressNode::crash_process() {
   sendq_.clear();
   coop_.clear();
   active_requests_ = 0;
+  trace::emit(sim_, Category::kPress, Kind::kPressStop, id());
   mark("process_down");
 }
 
 void PressNode::hang_process() {
   if (!process_up_ || hung_) return;
   hung_ = true;
+  trace::emit(sim_, Category::kPress, Kind::kPressHang, id());
   mark("hang");
 }
 
 void PressNode::unhang_process() {
   if (!process_up_ || !hung_) return;
   hung_ = false;
+  trace::emit(sim_, Category::kPress, Kind::kPressUnhang, id());
   mark("unhang");
   drain_paused();
   drain_backlog();
@@ -224,6 +242,7 @@ void PressNode::block_main(const char* reason, std::function<bool()> retry) {
   block_reason_ = reason;
   block_retry_ = std::move(retry);
   ++stats_.blocked_episodes;
+  trace::emit(sim_, Category::kPress, Kind::kPressBlocked, id());
   mark("blocked");
   arm_block_retry();
 }
@@ -242,6 +261,7 @@ void PressNode::try_unblock() {
   blocked_ = false;
   block_retry_ = nullptr;
   last_progress_ = sim_.now();
+  trace::emit(sim_, Category::kPress, Kind::kPressUnblocked, id());
   mark("unblocked");
   drain_paused();
   drain_backlog();
@@ -376,6 +396,7 @@ void PressNode::forward_to(net::NodeId peer,
     // unanswered too long — it is limping. Route around it, keeping the
     // probe trickle so recovery is noticed.
     ++stats_.rerouted_slow;
+    trace::emit(sim_, Category::kQmon, Kind::kQueueSlowPeer, id(), peer);
     mark("slow_peer", peer);
     if (allow_reroute) {
       reroute(request, peer);
@@ -395,6 +416,9 @@ void PressNode::forward_to(net::NodeId peer,
 
   switch (q.push(std::move(entry), rng_)) {
     case qmon::SelfMonitoringQueue::PushResult::kQueued:
+      trace::emit(sim_, Category::kQmon, Kind::kQueuePush, id(), peer,
+                  static_cast<std::int64_t>(q.queued_requests()),
+                  static_cast<std::int64_t>(q.queued_total()));
       forwards_[fid] =
           PendingForward{request, peer, sim_.now() + p_.request_shed_age};
       if (q.over_fail_threshold()) {
@@ -405,6 +429,8 @@ void PressNode::forward_to(net::NodeId peer,
       return;
     case qmon::SelfMonitoringQueue::PushResult::kReroute:
       ++stats_.rerouted;
+      trace::emit(sim_, Category::kQmon, Kind::kQueueReroute, id(), peer,
+                  static_cast<std::int64_t>(q.queued_requests()));
       if (allow_reroute) {
         reroute(request, peer);
       } else {
@@ -439,6 +465,9 @@ void PressNode::forward_to(net::NodeId peer,
             qmon::SelfMonitoringQueue::PushResult::kQueued) {
           return false;
         }
+        trace::emit(sim_, Category::kQmon, Kind::kQueuePush, id(), peer,
+                    static_cast<std::int64_t>(queue.queued_requests()),
+                    static_cast<std::int64_t>(queue.queued_total()));
         forwards_[id2] =
             PendingForward{request, peer, sim_.now() + p_.request_shed_age};
         pump_queue(peer);
@@ -629,6 +658,9 @@ void PressNode::pump_queue(net::NodeId peer) {
   if (it == sendq_.end()) return;
   auto& q = *it->second;
   while (auto entry = q.pop_transmittable(sim_.now())) {
+    trace::emit(sim_, Category::kQmon, Kind::kQueuePop, id(), peer,
+                static_cast<std::int64_t>(q.queued_requests()),
+                static_cast<std::int64_t>(q.queued_total()));
     net::SendOptions options;
     options.reliable = true;
     if (entry->is_request) {
@@ -687,6 +719,12 @@ void PressNode::fail_forward_ids(const std::vector<std::uint64_t>& ids) {
 void PressNode::qmon_fail(net::NodeId peer) {
   if (!coop_.contains(peer) || peer == id()) return;
   ++stats_.qmon_failures;
+  {
+    auto& q = sendq(peer);
+    trace::emit(sim_, Category::kQmon, Kind::kQueueFail, id(), peer,
+                static_cast<std::int64_t>(q.queued_requests()),
+                static_cast<std::int64_t>(q.queued_total()));
+  }
   mark("qmon_fail", peer);
   exclude_node(peer);
   if (report_node_down) report_node_down(peer);
@@ -712,6 +750,7 @@ void PressNode::on_heartbeat(const net::Packet& packet) {
   }
   const auto& hb = net::body_as<Heartbeat>(packet);
   last_heartbeat_[hb.from] = sim_.now();
+  trace::emit(sim_, Category::kPress, Kind::kPressHbSeen, id(), hb.from);
   dir_.set_load(hb.from, hb.load);
 }
 
@@ -777,6 +816,7 @@ void PressNode::check_predecessor() {
   auto it = last_heartbeat_.find(pred);
   if (it == last_heartbeat_.end()) {
     last_heartbeat_[pred] = sim_.now();  // grace period for a new neighbour
+    trace::emit(sim_, Category::kPress, Kind::kPressHbSeen, id(), pred);
     return;
   }
   const sim::Time deadline =
@@ -804,6 +844,7 @@ net::NodeId PressNode::ring_predecessor() const {
 }
 
 void PressNode::initiate_exclusion(net::NodeId target) {
+  trace::emit(sim_, Category::kPress, Kind::kPressDetect, id(), target);
   mark("detect_failure", target);
   // Tell everyone, including the target: if the target is actually alive
   // (a violated fault model), it will process its own exclusion later and
@@ -823,10 +864,15 @@ void PressNode::exclude_node(net::NodeId target) {
     // We were presumed dead by the others. Continue alone (splinter).
     ++stats_.self_exclusions;
     mark("self_excluded");
-    for (auto& [peer, q] : sendq_) fail_forward_ids(q->purge());
+    for (auto& [peer, q] : sendq_) {
+      fail_forward_ids(q->purge());
+      trace::emit(sim_, Category::kQmon, Kind::kQueuePurge, id(), peer);
+    }
     sendq_.clear();
     coop_.clear();
     coop_.insert(id());
+    trace::emit(sim_, Category::kPress, Kind::kPressSelfExclude, id(), 0,
+                static_cast<std::int64_t>(coop_mask()));
     dir_ = Directory{};
     last_heartbeat_.clear();
     if (blocked_) try_unblock();
@@ -834,12 +880,15 @@ void PressNode::exclude_node(net::NodeId target) {
   }
   if (coop_.erase(target) == 0) return;
   ++stats_.exclusions;
+  trace::emit(sim_, Category::kPress, Kind::kPressExclude, id(), target,
+              static_cast<std::int64_t>(coop_mask()));
   mark("exclude", target);
   dir_.remove_node(target);
   last_heartbeat_.erase(target);
   if (auto it = sendq_.find(target); it != sendq_.end()) {
     fail_forward_ids(it->second->purge());
     sendq_.erase(it);
+    trace::emit(sim_, Category::kQmon, Kind::kQueuePurge, id(), target);
   }
   reset_heartbeat_grace();
   if (blocked_) try_unblock();
@@ -847,7 +896,9 @@ void PressNode::exclude_node(net::NodeId target) {
 
 void PressNode::reset_heartbeat_grace() {
   if (coop_.size() < 2) return;
-  last_heartbeat_[ring_predecessor()] = sim_.now();
+  const net::NodeId pred = ring_predecessor();
+  last_heartbeat_[pred] = sim_.now();
+  trace::emit(sim_, Category::kPress, Kind::kPressHbSeen, id(), pred);
 }
 
 void PressNode::arm_forward_sweeper() {
@@ -920,6 +971,8 @@ void PressNode::handle_rejoin_reply(const RejoinReply& msg) {
   }
   joined_once_ = true;
   ++stats_.rejoins;
+  trace::emit(sim_, Category::kPress, Kind::kPressRejoin, id(), 0,
+              static_cast<std::int64_t>(coop_mask()));
   mark("rejoined");
   reset_heartbeat_grace();
 }
@@ -940,7 +993,11 @@ void PressNode::handle_join_announce(const JoinAnnounce& msg,
 
 void PressNode::add_member(net::NodeId node) {
   if (node == id()) return;
-  if (coop_.insert(node).second) reset_heartbeat_grace();
+  if (coop_.insert(node).second) {
+    trace::emit(sim_, Category::kPress, Kind::kPressAddMember, id(), node,
+                static_cast<std::int64_t>(coop_mask()));
+    reset_heartbeat_grace();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -953,6 +1010,8 @@ void PressNode::node_in(net::NodeId node) {
   }
   if (node == id()) return;
   if (!coop_.insert(node).second) return;
+  trace::emit(sim_, Category::kPress, Kind::kPressAddMember, id(), node,
+              static_cast<std::int64_t>(coop_mask()));
   mark("node_in", node);
   CacheSnapshot snap;
   snap.owner = id();

@@ -116,6 +116,7 @@ class PressNode {
   bool helper_ok() const { return process_up_ && !hung_ && host_ok(); }
   bool main_ok() const { return helper_ok() && !blocked_; }
   void mark(const char* m, net::NodeId about = net::kNoNode);
+  std::uint64_t coop_mask() const;
 
   /// Runs `fn` on the coordinating thread's CPU after `cost` service time;
   /// parks it if the main loop cannot run when its turn comes.

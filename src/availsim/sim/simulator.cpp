@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "availsim/trace/trace.hpp"
+
 namespace availsim::sim {
 
 std::uint32_t Simulator::acquire_slot() {
@@ -69,8 +71,17 @@ bool Simulator::step() {
   assert(ev.t >= now_);
   now_ = ev.t;
   ++processed_;
+  if (trace_steps_) [[unlikely]] {
+    tracer_->emit(now_, trace::Category::kSim, trace::Kind::kSimStep, -1,
+                  static_cast<std::int64_t>(ev.seq), 0, 0);
+  }
   ev.fn();
   return true;
+}
+
+void Simulator::set_tracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  trace_steps_ = tracer_ != nullptr && tracer_->wants(trace::Category::kSim);
 }
 
 void Simulator::run() {

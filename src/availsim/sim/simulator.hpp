@@ -7,6 +7,10 @@
 #include "availsim/sim/event_fn.hpp"
 #include "availsim/sim/time.hpp"
 
+namespace availsim::trace {
+class Tracer;
+}
+
 namespace availsim::sim {
 
 /// Opaque handle to a scheduled event; used only for cancellation.
@@ -68,6 +72,14 @@ class Simulator {
   /// Number of live (non-cancelled) events currently pending.
   std::size_t pending() const { return queue_.size() - cancelled_pending_; }
 
+  /// Optional structured-trace sink (not owned). When unset — the default —
+  /// every emit point in the substrate reduces to one pointer load and a
+  /// branch. See trace/trace.hpp. Attaching re-reads the tracer's category
+  /// mask: the per-step kSim gate is cached here, so call set_tracer again
+  /// if Tracer::set_mask changes whether kSim is traced.
+  trace::Tracer* tracer() const { return tracer_; }
+  void set_tracer(trace::Tracer* tracer);
+
  private:
   struct Event {
     Time t;
@@ -93,6 +105,9 @@ class Simulator {
   void purge_cancelled_head();
 
   Time now_ = 0;
+  trace::Tracer* tracer_ = nullptr;
+  // Cached tracer_->wants(kSim): keeps the per-step gate to one flag test.
+  bool trace_steps_ = false;
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
   std::size_t cancelled_pending_ = 0;

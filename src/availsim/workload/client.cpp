@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "availsim/trace/trace.hpp"
+
 namespace availsim::workload {
 
 Client::Client(sim::Simulator& simulator, net::Network& client_net,
@@ -56,6 +58,8 @@ void Client::send_request() {
   const net::NodeId dst = destinations_[rr_ % destinations_.size()];
   ++rr_;
   recorder_.record_offered();
+  trace::emit(sim_, trace::Category::kWorkload, trace::Kind::kReqSend,
+              self_.id(), static_cast<std::int64_t>(id));
 
   Pending& pending = pending_[id];
   pending.dst = dst;
@@ -95,6 +99,8 @@ void Client::on_reply(const net::Packet& packet) {
   sim_.cancel(it->second.connect_check);
   sim_.cancel(it->second.completion_timeout);
   pending_.erase(it);
+  trace::emit(sim_, trace::Category::kWorkload, trace::Kind::kReqOk,
+              self_.id(), static_cast<std::int64_t>(reply.request_id));
   recorder_.record_success();
 }
 
@@ -104,6 +110,9 @@ void Client::fail(std::uint64_t request_id, FailureReason reason) {
   sim_.cancel(it->second.connect_check);
   sim_.cancel(it->second.completion_timeout);
   pending_.erase(it);
+  trace::emit(sim_, trace::Category::kWorkload, trace::Kind::kReqFail,
+              self_.id(), static_cast<std::int64_t>(request_id),
+              static_cast<std::int64_t>(reason));
   recorder_.record_failure(reason);
 }
 

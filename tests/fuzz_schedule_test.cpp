@@ -1,0 +1,173 @@
+// Fuzzed fault schedules: every server configuration runs hundreds of
+// randomized multi-fault campaigns (Table-1 plus gray faults, random
+// components, times and durations) with the invariant auditor attached.
+// Any cross-subsystem protocol bug the auditor can express surfaces here
+// as a violation tagged with the schedule's seed.
+//
+// Replaying one schedule: AVAILSIM_FUZZ_SEED=<seed> ctest -R Fuzz/<CONFIG>
+// re-runs exactly that schedule (the whole schedule derives from the seed).
+// AVAILSIM_FUZZ_QUICK=1 trims the per-scenario schedule count for CI.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "availsim/fault/fault.hpp"
+#include "availsim/fault/injector.hpp"
+#include "availsim/harness/testbed.hpp"
+#include "availsim/sim/rng.hpp"
+#include "availsim/sim/simulator.hpp"
+#include "availsim/trace/auditor.hpp"
+
+namespace availsim {
+namespace {
+
+bool env_truthy(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+int schedule_count() {
+  return env_truthy("AVAILSIM_FUZZ_QUICK") ? 24 : 200;
+}
+
+// One randomized campaign: 2-5 faults drawn from the configuration's
+// Table-1 load plus the gray-fault load, injected at random instants with
+// random durations, audited end to end. Returns the violations collected.
+std::vector<trace::Violation> run_schedule(harness::ServerConfig config,
+                                           std::uint64_t seed,
+                                           bool replay = false) {
+  sim::Simulator sim;
+  harness::TestbedOptions opts;
+  opts.config = config;
+  opts.base_nodes = 4;
+  opts.client_hosts = 2;
+  opts.offered_rps = 240.0;
+  opts.warmup = 40 * sim::kSecond;
+  opts.seed = seed;
+  opts.audit = true;
+  // Replays keep the whole protocol history so the events that *formed* a
+  // bad state are visible, not just the window around the violation.
+  if (replay) opts.trace_capacity = std::size_t{1} << 21;
+  harness::Testbed tb(sim, opts);
+
+  std::vector<trace::Violation> violations;
+  tb.auditor()->on_violation = [&](const trace::Violation& v) {
+    violations.push_back(v);
+  };
+
+  sim::Rng rng(seed);
+  fault::FaultInjector injector(sim, tb, rng.fork(1));
+
+  std::vector<fault::FaultSpec> specs = tb.fault_load();
+  for (const fault::FaultSpec& gray :
+       fault::gray_fault_load(tb.server_count(), opts.press.disk_count)) {
+    specs.push_back(gray);
+  }
+
+  sim::Rng pick = rng.fork(2);
+  const int fault_count = static_cast<int>(pick.uniform_int(2, 5));
+  for (int f = 0; f < fault_count; ++f) {
+    const fault::FaultSpec& spec = specs[static_cast<std::size_t>(
+        pick.uniform_int(0, static_cast<std::int64_t>(specs.size()) - 1))];
+    const int component =
+        static_cast<int>(pick.uniform_int(0, spec.component_count - 1));
+    const sim::Time at =
+        opts.warmup + pick.uniform_int(0, 90) * sim::kSecond;
+    const sim::Time duration = pick.uniform_int(5, 60) * sim::kSecond;
+    injector.schedule_fault(at, spec.type, component, duration);
+  }
+
+  tb.start();
+  // Long post-repair tail: the last repair lands by warmup+150s, so the
+  // audit ticks get a quiescent window to check membership agreement in.
+  sim.run_until(opts.warmup + 300 * sim::kSecond);
+
+  const double avail =
+      tb.recorder().availability(opts.warmup, opts.warmup + 300 * sim::kSecond);
+  EXPECT_GE(avail, 0.0) << "seed " << seed;
+  // Availability is delivered/offered over the window; requests admitted
+  // just before the window boundary and completed inside it can push the
+  // ratio a hair above 1.
+  EXPECT_LE(avail, 1.005) << "seed " << seed;
+
+  if (replay) {
+    // Print the protocol-level history (everything but the per-request and
+    // per-packet firehose) so the schedule and its consequences are legible.
+    for (const trace::TraceRecord& r : tb.tracer()->snapshot()) {
+      switch (r.category) {
+        case trace::Category::kWorkload:
+        case trace::Category::kQmon:
+        case trace::Category::kNet:
+        case trace::Category::kSim:
+          break;
+        default:
+          std::printf("%s\n", trace::format_record(r).c_str());
+      }
+    }
+  }
+  return violations;
+}
+
+class FuzzScheduleTest
+    : public ::testing::TestWithParam<harness::ServerConfig> {};
+
+TEST_P(FuzzScheduleTest, RandomFaultSchedulesKeepAllInvariants) {
+  const harness::ServerConfig config = GetParam();
+  const auto base =
+      (static_cast<std::uint64_t>(config) + 1) * 0x9E3779B9u;
+
+  if (const char* replay = std::getenv("AVAILSIM_FUZZ_SEED");
+      replay != nullptr && replay[0] != '\0') {
+    const std::uint64_t seed = std::strtoull(replay, nullptr, 0);
+    for (const trace::Violation& v : run_schedule(config, seed, true)) {
+      ADD_FAILURE() << "seed " << seed << ": [" << v.invariant << "] "
+                    << v.detail;
+    }
+    return;
+  }
+
+  const int count = schedule_count();
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t seed = base + static_cast<std::uint64_t>(i);
+    const auto violations = run_schedule(config, seed);
+    for (std::size_t k = 0; k < violations.size() && k < 4; ++k) {
+      ADD_FAILURE() << "config " << harness::to_string(config) << " seed "
+                    << seed << " (replay: AVAILSIM_FUZZ_SEED=" << seed
+                    << "): [" << violations[k].invariant << "] "
+                    << violations[k].detail;
+    }
+    if (!violations.empty()) return;  // first bad seed is enough
+  }
+}
+
+const char* scenario_name(const ::testing::TestParamInfo<harness::ServerConfig>&
+                              info) {
+  switch (info.param) {
+    case harness::ServerConfig::kIndep: return "INDEP";
+    case harness::ServerConfig::kFeXIndep: return "FEXINDEP";
+    case harness::ServerConfig::kCoop: return "COOP";
+    case harness::ServerConfig::kFeX: return "FEX";
+    case harness::ServerConfig::kMem: return "MEM";
+    case harness::ServerConfig::kQmon: return "QMON";
+    case harness::ServerConfig::kMq: return "MQ";
+    case harness::ServerConfig::kFme: return "FME";
+  }
+  return "UNKNOWN";
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, FuzzScheduleTest,
+                         ::testing::Values(harness::ServerConfig::kIndep,
+                                           harness::ServerConfig::kCoop,
+                                           harness::ServerConfig::kFeX,
+                                           harness::ServerConfig::kMem,
+                                           harness::ServerConfig::kQmon,
+                                           harness::ServerConfig::kMq,
+                                           harness::ServerConfig::kFme),
+                         scenario_name);
+
+}  // namespace
+}  // namespace availsim

@@ -78,6 +78,129 @@ INSTANTIATE_TEST_SUITE_P(
                       harness::ServerConfig::kFme));
 
 // ---------------------------------------------------------------------------
+// Hardened-detector and gray-fault runs, audited
+// ---------------------------------------------------------------------------
+
+struct AuditedRun {
+  RunSummary summary;
+  std::size_t violations = 0;
+  double availability = 0;
+};
+
+AuditedRun audited_short_run(harness::ServerConfig config, std::uint64_t seed,
+                             bool hardened, fault::FaultType type,
+                             int component) {
+  harness::TestbedOptions opts = harness::default_testbed_options(config, seed);
+  opts.warmup = 60 * sim::kSecond;
+  // The audited invariants are load-independent; a lighter offered load
+  // keeps this sweep (3 configs + 4 gray types x 2 detector variants) fast.
+  opts.offered_rps = 900.0;
+  opts.hardened_detectors = hardened;
+  opts.audit = true;
+  sim::Simulator simulator;
+  harness::Testbed tb(simulator, opts);
+  AuditedRun run;
+  tb.auditor()->on_violation = [&run](const trace::Violation& v) {
+    ++run.violations;
+    ADD_FAILURE() << "[" << v.invariant << "] " << v.detail;
+  };
+  fault::FaultInjector injector(simulator, tb, sim::Rng(seed));
+  tb.start();
+  injector.schedule_fault(80 * sim::kSecond, type, component,
+                          60 * sim::kSecond);
+  simulator.run_until(200 * sim::kSecond);
+  run.summary = RunSummary{tb.recorder().total_offered(),
+                           tb.recorder().total_success(),
+                           tb.recorder().total_failed(), tb.log().size()};
+  run.availability =
+      tb.recorder().availability(opts.warmup, 200 * sim::kSecond);
+  return run;
+}
+
+TEST(Property, HardenedDetectorRunsConserveAndAuditClean) {
+  for (auto config :
+       {harness::ServerConfig::kCoop, harness::ServerConfig::kMq,
+        harness::ServerConfig::kFme}) {
+    const AuditedRun run = audited_short_run(
+        config, 11, /*hardened=*/true, fault::FaultType::kNodeCrash, 1);
+    EXPECT_EQ(run.violations, 0u) << harness::to_string(config);
+    EXPECT_GE(run.summary.offered, run.summary.success + run.summary.failed);
+    EXPECT_GT(run.summary.success, 0u);
+    EXPECT_GE(run.availability, 0.0);
+    EXPECT_LE(run.availability, 1.0);
+  }
+}
+
+TEST(Property, GrayFaultRunsConserveAndAuditClean) {
+  harness::TestbedOptions probe =
+      harness::default_testbed_options(harness::ServerConfig::kMq, 1);
+  const struct {
+    fault::FaultType type;
+    int component;
+  } cases[] = {
+      {fault::FaultType::kLinkLossy, 1},
+      {fault::FaultType::kLinkFlap, 2},
+      {fault::FaultType::kNodeSlow, 1},
+      {fault::FaultType::kDiskSlow, probe.press.disk_count},  // node 1 disk 0
+  };
+  for (const auto& c : cases) {
+    for (bool hardened : {false, true}) {
+      const AuditedRun run = audited_short_run(harness::ServerConfig::kMq, 13,
+                                               hardened, c.type, c.component);
+      EXPECT_EQ(run.violations, 0u)
+          << fault::to_string(c.type) << " hardened=" << hardened;
+      EXPECT_GE(run.summary.offered,
+                run.summary.success + run.summary.failed);
+      EXPECT_GT(run.summary.success, 0u);
+      EXPECT_GE(run.availability, 0.0);
+      EXPECT_LE(run.availability, 1.0);
+    }
+  }
+}
+
+// The model identities (AT <= T0, A in [0,1], stage durations summing to
+// the template span) must survive templates *measured* from gray faults on
+// hardened detectors, not just the randomly generated ones below.
+TEST(Property, MeasuredGrayTemplateKeepsModelIdentities) {
+  harness::TestbedOptions opts =
+      harness::default_testbed_options(harness::ServerConfig::kMq, 5);
+  opts.warmup = 120 * sim::kSecond;
+  opts.hardened_detectors = true;
+  opts.audit = true;  // default handler: any violation aborts the test
+  harness::Phase1Options phase1;
+  phase1.t0_window = 30 * sim::kSecond;
+  phase1.repair_cap = 60 * sim::kSecond;
+  phase1.stabilize_window = 40 * sim::kSecond;
+  phase1.warm_window = 60 * sim::kSecond;
+  phase1.post_reset = 60 * sim::kSecond;
+
+  harness::Phase1Result r = harness::run_single_fault(
+      opts, fault::FaultType::kLinkLossy, 1, phase1);
+  EXPECT_GT(r.t0, 0.0);
+
+  double stage_sum = 0;
+  for (int s = 0; s < model::kStageCount; ++s) {
+    EXPECT_GE(r.tmpl.stages.duration[s], 0.0) << "stage " << s;
+    stage_sum += r.tmpl.stages.duration[s];
+  }
+  EXPECT_NEAR(stage_sum, r.tmpl.stages.total_duration(), 1e-9);
+
+  // Table 1 has no gray rows; graft the gray-fault load's failure rates in
+  // before asking the analytic model for availability.
+  const auto gray = fault::gray_fault_load(5, opts.press.disk_count);
+  const fault::FaultSpec* spec =
+      fault::find_spec(gray, fault::FaultType::kLinkLossy);
+  ASSERT_NE(spec, nullptr);
+  r.tmpl.mttf_seconds = spec->mttf_seconds;
+  r.tmpl.components = spec->component_count;
+
+  model::SystemModel m(r.t0, {r.tmpl});
+  EXPECT_GE(m.availability(), 0.0);
+  EXPECT_LE(m.availability(), 1.0 + 1e-9);
+  EXPECT_LE(m.average_throughput(), m.t0() + 1e-6);
+}
+
+// ---------------------------------------------------------------------------
 // Fuzzed cache / directory invariants
 // ---------------------------------------------------------------------------
 
