@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "availsim/membership/client_lib.hpp"
@@ -43,8 +44,11 @@ int main() {
   std::vector<std::unique_ptr<membership::MembershipBoard>> boards;
   std::vector<std::unique_ptr<membership::MemberServer>> daemons;
   for (int i = 0; i < kNodes; ++i) {
-    hosts.push_back(std::make_unique<net::Host>(simulator, i,
-                                                "n" + std::to_string(i)));
+    // Built piecewise: `"n" + std::to_string(i)` trips g++-12's -Wrestrict
+    // false positive (GCC PR 105329) under -Werror.
+    std::string name = "n";
+    name += std::to_string(i);
+    hosts.push_back(std::make_unique<net::Host>(simulator, i, name));
     network.attach(*hosts.back());
     boards.push_back(std::make_unique<membership::MembershipBoard>());
     daemons.push_back(std::make_unique<membership::MemberServer>(

@@ -150,7 +150,14 @@ void BenchJson::add(const std::string& key, int value) {
 }
 
 void BenchJson::add(const std::string& key, const std::string& value) {
-  fields_.emplace_back(key, "\"" + json_escape(value) + "\"");
+  // Built up piecewise: `"\"" + s + "\""` trips g++-12's -Wrestrict false
+  // positive (GCC PR 105329) under -Werror.
+  std::string quoted;
+  quoted.reserve(value.size() + 2);
+  quoted.push_back('"');
+  quoted += json_escape(value);
+  quoted.push_back('"');
+  fields_.emplace_back(key, std::move(quoted));
 }
 
 std::string BenchJson::str() const {

@@ -63,6 +63,12 @@ auto run_replicas(int jobs, int count, Fn&& fn)
 }
 
 /// Wall-clock stopwatch for campaign/bench timings.
+///
+/// This is the repo's single sanctioned wall-clock read (availlint's
+/// det-clock allowlist carries exactly this file): readings measure how
+/// long a campaign took on the host for BENCH_*.json reporting, and never
+/// feed simulation state, event scheduling, or exported simulation
+/// results — so byte-identical replay is unaffected by it.
 class WallTimer {
  public:
   WallTimer() : start_(std::chrono::steady_clock::now()) {}

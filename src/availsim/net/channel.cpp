@@ -33,6 +33,7 @@ void FlowTable::park(NodeId src, NodeId dst, PendingSend send) {
 
 std::vector<FlowTable::PendingSend> FlowTable::take_parked_touching(NodeId node) {
   std::vector<PendingSend> out;
+  // availlint: ordered-ok(drained set is re-sorted by seq via sort_by_park_order)
   for (auto it = parked_.begin(); it != parked_.end();) {
     const NodeId src = static_cast<NodeId>(it->first >> 32);
     const NodeId dst = static_cast<NodeId>(it->first & 0xFFFFFFFFu);
@@ -49,6 +50,7 @@ std::vector<FlowTable::PendingSend> FlowTable::take_parked_touching(NodeId node)
 
 std::vector<FlowTable::PendingSend> FlowTable::take_all_parked() {
   std::vector<PendingSend> out;
+  // availlint: ordered-ok(drained set is re-sorted by seq via sort_by_park_order)
   for (auto& [k, vec] : parked_) {
     for (auto& p : vec) out.push_back(std::move(p));
   }
@@ -59,6 +61,7 @@ std::vector<FlowTable::PendingSend> FlowTable::take_all_parked() {
 
 std::vector<FlowTable::PendingSend> FlowTable::take_parked_to(NodeId dst) {
   std::vector<PendingSend> out;
+  // availlint: ordered-ok(drained set is re-sorted by seq via sort_by_park_order)
   for (auto it = parked_.begin(); it != parked_.end();) {
     const NodeId d = static_cast<NodeId>(it->first & 0xFFFFFFFFu);
     if (d == dst) {
@@ -74,6 +77,7 @@ std::vector<FlowTable::PendingSend> FlowTable::take_parked_to(NodeId dst) {
 
 std::size_t FlowTable::parked_count() const {
   std::size_t n = 0;
+  // availlint: ordered-ok(commutative size sum)
   for (const auto& [k, vec] : parked_) n += vec.size();
   return n;
 }

@@ -27,6 +27,7 @@ int Directory::load(net::NodeId node) const {
 
 void Directory::remove_node(net::NodeId node) {
   loads_.erase(node);
+  // availlint: ordered-ok(per-entry erase of one node; entries independent)
   for (auto it = where_.begin(); it != where_.end();) {
     std::erase(it->second, node);
     it = it->second.empty() ? where_.erase(it) : std::next(it);
@@ -65,6 +66,7 @@ bool Directory::node_caches_file(net::NodeId node,
 
 std::size_t Directory::files_known_for(net::NodeId node) const {
   std::size_t n = 0;
+  // availlint: ordered-ok(commutative count)
   for (const auto& [file, nodes] : where_) {
     n += std::count(nodes.begin(), nodes.end(), node);
   }

@@ -15,8 +15,15 @@ using trace::Kind;
 
 std::uint64_t PressNode::coop_mask() const {
   std::uint64_t mask = 0;
+  // availlint: ordered-ok(commutative OR-fold; result is order-independent)
   for (net::NodeId n : coop_) mask |= trace::node_bit(n);
   return mask;
+}
+
+std::vector<net::NodeId> PressNode::coop_sorted() const {
+  std::vector<net::NodeId> peers(coop_.begin(), coop_.end());
+  std::sort(peers.begin(), peers.end());
+  return peers;
 }
 
 PressNode::PressNode(sim::Simulator& simulator, net::Network& cluster_net,
@@ -363,7 +370,9 @@ void PressNode::reply_to_client(const workload::HttpRequest& request) {
 void PressNode::insert_cache_and_broadcast(workload::FileId file) {
   auto evicted = cache_.insert(file);
   if (!p_.cooperative) return;
-  for (net::NodeId peer : coop_) {
+  // Broadcast in node-id order: the send order schedules delivery events,
+  // so hash order here would leak into the event schedule.
+  for (net::NodeId peer : coop_sorted()) {
     if (peer == id()) continue;
     cluster_.send(id(), peer, net::ports::kPressCacheUpdate,
                   wire::kCacheUpdate,
@@ -848,8 +857,9 @@ void PressNode::initiate_exclusion(net::NodeId target) {
   mark("detect_failure", target);
   // Tell everyone, including the target: if the target is actually alive
   // (a violated fault model), it will process its own exclusion later and
-  // splinter off as a singleton sub-cluster.
-  for (net::NodeId peer : coop_) {
+  // splinter off as a singleton sub-cluster.  Node-id order keeps the
+  // resulting event schedule independent of hash layout.
+  for (net::NodeId peer : coop_sorted()) {
     if (peer == id()) continue;
     send_control(peer, net::ports::kPressControl,
                  net::make_body<ControlMsg>(
@@ -864,8 +874,15 @@ void PressNode::exclude_node(net::NodeId target) {
     // We were presumed dead by the others. Continue alone (splinter).
     ++stats_.self_exclusions;
     mark("self_excluded");
-    for (auto& [peer, q] : sendq_) {
-      fail_forward_ids(q->purge());
+    // Purge queues in node-id order: each purge emits a kQueuePurge trace
+    // record, and exported trace order must not depend on hash layout.
+    std::vector<net::NodeId> qpeers;
+    qpeers.reserve(sendq_.size());
+    // availlint: ordered-ok(keys collected then sorted before use)
+    for (const auto& [peer, q] : sendq_) qpeers.push_back(peer);
+    std::sort(qpeers.begin(), qpeers.end());
+    for (net::NodeId peer : qpeers) {
+      fail_forward_ids(sendq_[peer]->purge());
       trace::emit(sim_, Category::kQmon, Kind::kQueuePurge, id(), peer);
     }
     sendq_.clear();
@@ -909,6 +926,7 @@ void PressNode::arm_forward_sweeper() {
   sim_.schedule_after(sim::kSecond, [this, e = epoch_] {
     if (epoch_ != e || !process_up_) return;
     if (main_ok() && !forwards_.empty()) {
+      // availlint: ordered-ok(erase-expired sweep; commutative erases+counters)
       for (auto it = forwards_.begin(); it != forwards_.end();) {
         if (sim_.now() > it->second.deadline) {
           --active_requests_;
@@ -963,7 +981,8 @@ void PressNode::handle_rejoin_request(const RejoinRequest& msg) {
 void PressNode::handle_rejoin_reply(const RejoinReply& msg) {
   if (coop_.size() > 1) return;  // already (re)joined
   for (net::NodeId m : msg.members) add_member(m);
-  for (net::NodeId m : coop_) {
+  // Announce in node-id order so the send schedule is hash-independent.
+  for (net::NodeId m : coop_sorted()) {
     if (m == id()) continue;
     send_control(m, net::ports::kPressControl,
                  net::make_body<ControlMsg>(ControlMsg{JoinAnnounce{id()}}),

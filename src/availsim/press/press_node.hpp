@@ -117,6 +117,10 @@ class PressNode {
   bool main_ok() const { return helper_ok() && !blocked_; }
   void mark(const char* m, net::NodeId about = net::kNoNode);
   std::uint64_t coop_mask() const;
+  // Coop-set members in ascending node-id order.  Every loop that *sends*
+  // to peers iterates this instead of coop_: send order schedules events,
+  // and hash order must never leak into the event schedule.
+  std::vector<net::NodeId> coop_sorted() const;
 
   /// Runs `fn` on the coordinating thread's CPU after `cost` service time;
   /// parks it if the main loop cannot run when its turn comes.

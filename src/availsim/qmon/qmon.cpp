@@ -1,5 +1,6 @@
 #include "availsim/qmon/qmon.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace availsim::qmon {
@@ -70,6 +71,7 @@ void SelfMonitoringQueue::complete(std::uint64_t request_id) {
 
 sim::Time SelfMonitoringQueue::oldest_outstanding_age(sim::Time now) const {
   sim::Time oldest = 0;
+  // availlint: ordered-ok(commutative max fold)
   for (const auto& [id, sent] : outstanding_) {
     const sim::Time age = now > sent ? now - sent : 0;
     if (age > oldest) oldest = age;
@@ -87,7 +89,13 @@ std::vector<std::uint64_t> SelfMonitoringQueue::purge() {
   for (const auto& e : queue_) {
     if (e.is_request) ids.push_back(e.request_id);
   }
+  // In-flight ids leave in sorted order: the caller fails them one by one,
+  // and downstream effects must not depend on hash layout.
+  const std::size_t in_flight_at = ids.size();
+  // availlint: ordered-ok(collected then sorted below)
   for (const auto& [id, b] : in_flight_) ids.push_back(id);
+  std::sort(ids.begin() + static_cast<std::ptrdiff_t>(in_flight_at),
+            ids.end());
   queue_.clear();
   queued_requests_ = 0;
   in_flight_.clear();

@@ -89,6 +89,7 @@ void TierNode::schedule_cpu(sim::Time cost, std::function<void()> fn) {
 void TierNode::arm_sweeper() {
   sim_.schedule_after(sim::kSecond, [this, e = epoch_] {
     if (epoch_ != e || !process_up_) return;
+    // availlint: ordered-ok(erase-expired sweep; commutative erases+counters)
     for (auto it = pending_.begin(); it != pending_.end();) {
       if (sim_.now() > it->second.deadline) {
         --active_;

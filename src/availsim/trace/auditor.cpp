@@ -89,6 +89,7 @@ void Auditor::check_membership_agreement(const TraceRecord& record) {
   if (record.at - last_view_change_ < cfg_.quiet_after_view) return;
   std::uint64_t expect = 0;
   std::int32_t expect_node = -1;
+  // availlint: ordered-ok(agreement check; any mismatching pair violates)
   for (const auto& [node, m] : members_) {
     if (!m.running) continue;
     if (expect_node < 0) {
@@ -385,6 +386,7 @@ void Auditor::on_record(const TraceRecord& record) {
       bool disk_bad = false;
       const std::uint64_t lo = pair_key(record.node, 0);
       const std::uint64_t hi = pair_key(record.node + 1, 0);
+      // availlint: ordered-ok(existence scan; result is order-independent)
       for (const std::uint64_t key : bad_disks_) {
         if (key >= lo && key < hi) {
           disk_bad = true;

@@ -62,7 +62,9 @@ TEST(QmonBoundary, FailRequestsFiresAtExactly256) {
   for (std::uint64_t i = 0; i < 256; ++i) {
     ASSERT_EQ(q.push(request(i), rng),
               SelfMonitoringQueue::PushResult::kQueued);
-    if (i < 255) EXPECT_FALSE(q.over_fail_threshold()) << i;
+    if (i < 255) {
+      EXPECT_FALSE(q.over_fail_threshold()) << i;
+    }
   }
   EXPECT_EQ(q.queued_requests(), 256u);
   EXPECT_TRUE(q.over_fail_threshold());
@@ -75,7 +77,9 @@ TEST(QmonBoundary, FailTotalFiresAtExactly512Messages) {
   // count toward the total-capacity fail threshold.
   for (int i = 0; i < 512; ++i) {
     ASSERT_EQ(q.push(control(), rng), SelfMonitoringQueue::PushResult::kQueued);
-    if (i < 511) EXPECT_FALSE(q.over_fail_threshold()) << i;
+    if (i < 511) {
+      EXPECT_FALSE(q.over_fail_threshold()) << i;
+    }
   }
   EXPECT_EQ(q.queued_requests(), 0u);
   EXPECT_EQ(q.queued_total(), 512u);

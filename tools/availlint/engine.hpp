@@ -1,0 +1,90 @@
+#pragma once
+// availlint rule engine.  Consumes lexed files plus the repo's rules
+// config and produces diagnostics.  Built as a library (availlint_lib) so
+// tests can drive every rule against in-memory fixtures; the `availlint`
+// binary is a thin filesystem walker around it.
+//
+// Rules enforced (ids are stable; they appear in diagnostics and docs):
+//   det-rand            rand/srand/rand_r/drand48/std::random_device
+//   det-clock           wall clocks: steady_clock/system_clock/
+//                       high_resolution_clock/time(NULL)/clock()/
+//                       gettimeofday/clock_gettime/localtime/gmtime
+//   det-getenv          getenv outside the allowlist
+//   det-thread          std::thread/mutex/atomic/... and their headers
+//                       outside the allowlist
+//   det-std-function    std::function inside forbid-function paths
+//   det-unordered-iter  range-for / iterator loop over an
+//                       unordered_{map,set} inside ordered-domain paths,
+//                       unless the for's line carries
+//                       "availlint: ordered-ok(<reason>)"
+//   layer-dep           #include edge not in the declared layer table
+//   layer-cycle         cycle in the declared header-layer graph or in
+//                       the actual file-level include graph
+//   hyg-pragma-once     header without #pragma once
+//   hyg-using-namespace using namespace at header scope
+//   hyg-iostream        std::cout/cerr/clog outside the allowlist
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace availlint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  std::string str() const {
+    return file + ":" + std::to_string(line) + ": " + rule + ": " + message;
+  }
+};
+
+class Engine {
+ public:
+  explicit Engine(Config cfg) : cfg_(std::move(cfg)) {}
+
+  // Registers a file for linting.  `path` must be repo-relative with '/'
+  // separators (e.g. "src/availsim/press/press_node.cpp") — it drives
+  // layer lookup and allowlist matching.
+  void add_file(const std::string& path, const std::string& text);
+
+  // Runs all per-file and cross-file checks; diagnostics are sorted by
+  // (file, line, rule) so output is deterministic.
+  std::vector<Diagnostic> run();
+
+ private:
+  struct FileEntry {
+    std::string path;
+    LexedFile lex;
+    bool is_header = false;
+  };
+
+  void check_file(const FileEntry& f);
+  void check_banned_tokens(const FileEntry& f);
+  void check_unordered_iteration(const FileEntry& f);
+  void check_layering(const FileEntry& f);
+  void check_hygiene(const FileEntry& f);
+  void check_layer_table_acyclic();
+  void check_include_cycles();
+
+  void diag(const std::string& file, int line, const std::string& rule,
+            const std::string& message);
+
+  // Identifiers declared in `f` (and, for a .cpp, its same-stem header)
+  // with an unordered_{map,set} type: variables and functions returning
+  // unordered containers.
+  void collect_unordered(const LexedFile& lex, std::map<std::string, int>* vars,
+                         std::map<std::string, int>* fns) const;
+
+  Config cfg_;
+  std::vector<FileEntry> files_;
+  std::map<std::string, std::size_t> by_path_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace availlint

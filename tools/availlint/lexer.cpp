@@ -1,0 +1,216 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace availlint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Phase 1: strip comments and literal contents, producing per-line code
+// text and per-line comment text.  Operates on the raw byte stream so
+// multi-line constructs (block comments, raw strings) are handled exactly.
+struct Stripper {
+  const std::string& src;
+  std::vector<std::string> code_lines{std::string()};
+  std::vector<std::string> comment_lines{std::string()};
+
+  explicit Stripper(const std::string& s) : src(s) {}
+
+  void code(char c) {
+    if (c == '\n') {
+      code_lines.emplace_back();
+      comment_lines.emplace_back();
+    } else {
+      code_lines.back().push_back(c);
+    }
+  }
+  void comment(char c) {
+    if (c == '\n') {
+      code_lines.emplace_back();
+      comment_lines.emplace_back();
+    } else {
+      comment_lines.back().push_back(c);
+    }
+  }
+
+  void run() {
+    const std::size_t n = src.size();
+    std::size_t i = 0;
+    while (i < n) {
+      const char c = src[i];
+      const char next = i + 1 < n ? src[i + 1] : '\0';
+      if (c == '/' && next == '/') {
+        i += 2;
+        while (i < n && src[i] != '\n') comment(src[i++]);
+        continue;
+      }
+      if (c == '/' && next == '*') {
+        i += 2;
+        while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+          comment(src[i++]);
+        }
+        i = i + 1 < n ? i + 2 : n;
+        code(' ');  // keep tokens on either side separated
+        continue;
+      }
+      if (c == 'R' && next == '"' && (i == 0 || !ident_char(src[i - 1]))) {
+        // Raw string literal: R"delim( ... )delim"
+        std::size_t p = i + 2;
+        std::string delim;
+        while (p < n && src[p] != '(') delim.push_back(src[p++]);
+        std::string closer;
+        closer.reserve(delim.size() + 2);
+        closer.push_back(')');
+        closer += delim;
+        closer.push_back('"');
+        std::size_t end = src.find(closer, p);
+        end = end == std::string::npos ? n : end + closer.size();
+        code('"');
+        // Preserve line structure inside the raw string.
+        for (std::size_t q = i; q < end; ++q) {
+          if (src[q] == '\n') code('\n');
+        }
+        code('"');
+        i = end;
+        continue;
+      }
+      if (c == '"') {
+        code('"');
+        ++i;
+        while (i < n && src[i] != '"') {
+          if (src[i] == '\\' && i + 1 < n) ++i;
+          if (src[i] == '\n') code('\n');
+          ++i;
+        }
+        code('"');
+        i = i < n ? i + 1 : n;
+        continue;
+      }
+      // Char literal — but not a digit separator (0xFF'00) or an
+      // identifier-adjacent apostrophe.
+      if (c == '\'' && (i == 0 || !ident_char(src[i - 1]))) {
+        code('\'');
+        ++i;
+        while (i < n && src[i] != '\'') {
+          if (src[i] == '\\' && i + 1 < n) ++i;
+          ++i;
+        }
+        code('\'');
+        i = i < n ? i + 1 : n;
+        continue;
+      }
+      code(c);
+      ++i;
+    }
+  }
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& source) {
+  Stripper strip(source);
+  strip.run();
+
+  LexedFile out;
+  out.code_lines = std::move(strip.code_lines);
+  out.comment_for_line = std::move(strip.comment_lines);
+
+  // Phase 2: include directives + token stream from the stripped code.
+  for (std::size_t li = 0; li < out.code_lines.size(); ++li) {
+    const std::string& line = out.code_lines[li];
+    const int lineno = static_cast<int>(li) + 1;
+
+    std::size_t i = 0;
+    const std::size_t len = line.size();
+    while (i < len) {
+      const char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      Token t;
+      t.line = lineno;
+      t.col = static_cast<int>(i) + 1;
+      if (ident_start(c)) {
+        std::size_t j = i;
+        while (j < len && ident_char(line[j])) ++j;
+        t.text = line.substr(i, j - i);
+        t.is_identifier = true;
+        i = j;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::size_t j = i;
+        while (j < len && (ident_char(line[j]) || line[j] == '\'' ||
+                           line[j] == '.')) {
+          ++j;
+        }
+        t.text = line.substr(i, j - i);
+        i = j;
+      } else {
+        const char d = i + 1 < len ? line[i + 1] : '\0';
+        if ((c == ':' && d == ':') || (c == '-' && d == '>') ||
+            (c == '<' && d == '<') || (c == '>' && d == '>') ||
+            (c == '&' && d == '&') || (c == '|' && d == '|')) {
+          t.text.assign(1, c);
+          t.text.push_back(d);
+          i += 2;
+        } else {
+          t.text.assign(1, c);
+          ++i;
+        }
+      }
+      out.tokens.push_back(std::move(t));
+    }
+  }
+
+  // Includes: scan the ORIGINAL source line-by-line, but only lines whose
+  // stripped counterpart still starts with '#' — this keeps commented-out
+  // includes invisible while preserving quoted paths the stripper blanked.
+  {
+    std::size_t start = 0;
+    int lineno = 0;
+    while (start <= source.size()) {
+      std::size_t eol = source.find('\n', start);
+      const std::string raw = source.substr(
+          start, eol == std::string::npos ? std::string::npos : eol - start);
+      ++lineno;
+      const std::string* stripped =
+          lineno <= static_cast<int>(out.code_lines.size())
+              ? &out.code_lines[static_cast<std::size_t>(lineno - 1)]
+              : nullptr;
+      if (stripped) {
+        std::size_t p = stripped->find_first_not_of(" \t");
+        if (p != std::string::npos && (*stripped)[p] == '#') {
+          std::size_t q = stripped->find("include", p);
+          if (q != std::string::npos &&
+              stripped->substr(p + 1, q - p - 1)
+                      .find_first_not_of(" \t") == std::string::npos) {
+            std::size_t open = raw.find_first_of("<\"", q);
+            if (open != std::string::npos) {
+              const char close = raw[open] == '<' ? '>' : '"';
+              std::size_t end = raw.find(close, open + 1);
+              if (end != std::string::npos) {
+                IncludeDirective inc;
+                inc.path = raw.substr(open + 1, end - open - 1);
+                inc.angled = raw[open] == '<';
+                inc.line = lineno;
+                out.includes.push_back(std::move(inc));
+              }
+            }
+          }
+        }
+      }
+      if (eol == std::string::npos) break;
+      start = eol + 1;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace availlint

@@ -1,0 +1,56 @@
+#pragma once
+// availlint lexer: reduces a C++ translation unit to the parts the rule
+// engine cares about.  It is not a full C++ lexer — it only has to be exact
+// about the three things that make naive grep-based linting wrong:
+// comments, string/character literals (including raw strings), and
+// preprocessor include lines.
+//
+// The output is
+//   * a token stream over the *code* (comments and literal contents
+//     removed), with line numbers, where multi-char operators that matter
+//     for scanning ("::", "->", "<<", ">>") are single tokens;
+//   * the comment text attached to each line (so suppression annotations
+//     like "availlint: ordered-ok(reason)" can be found without the code
+//     scanner ever seeing them);
+//   * the list of #include directives with their line numbers.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace availlint {
+
+struct Token {
+  std::string text;
+  int line = 0;  // 1-based
+  int col = 0;   // 1-based
+  bool is_identifier = false;
+};
+
+struct IncludeDirective {
+  std::string path;     // between the quotes / angle brackets
+  bool angled = false;  // <...> vs "..."
+  int line = 0;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  // comment_for_line[i] holds all comment text that appears on 1-based
+  // line i+1 (both // and /* */ fragments), concatenated.
+  std::vector<std::string> comment_for_line;
+  // Raw code lines with comments and literal *contents* blanked out
+  // (quotes kept).  Used for preprocessor-level checks (#pragma once).
+  std::vector<std::string> code_lines;
+
+  const std::string& comment_on(int line) const {
+    static const std::string empty;
+    if (line < 1 || line > static_cast<int>(comment_for_line.size()))
+      return empty;
+    return comment_for_line[static_cast<std::size_t>(line - 1)];
+  }
+};
+
+LexedFile lex(const std::string& source);
+
+}  // namespace availlint

@@ -1,0 +1,115 @@
+// availlint CLI: walks the scan directories named in the rules file,
+// feeds every C++ source file to the rule engine, and prints
+// `file:line: rule-id: message` diagnostics.  Exit status is nonzero on
+// any finding, so `cmake --build build --target lint` fails the build.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine.hpp"
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc" ||
+         ext == ".hh" || ext == ".cxx";
+}
+
+std::string read_file(const fs::path& p, bool* ok) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return {};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *ok = true;
+  return ss.str();
+}
+
+int usage() {
+  std::cerr << "usage: availlint --rules <availlint.rules> --root <repo-root>"
+            << " [extra-scan-dir...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string rules_path;
+  std::string root = ".";
+  std::vector<std::string> extra_dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rules" && i + 1 < argc) {
+      rules_path = argv[++i];
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else {
+      extra_dirs.push_back(arg);
+    }
+  }
+  if (rules_path.empty()) return usage();
+
+  bool ok = false;
+  const std::string rules_text = read_file(rules_path, &ok);
+  if (!ok) {
+    std::cerr << "availlint: cannot read rules file " << rules_path << "\n";
+    return 2;
+  }
+  availlint::Config cfg;
+  std::string error;
+  if (!availlint::parse_rules(rules_text, &cfg, &error)) {
+    std::cerr << "availlint: " << error << "\n";
+    return 2;
+  }
+  for (const std::string& d : extra_dirs) cfg.scan_dirs.push_back(d);
+
+  availlint::Engine engine(cfg);
+  const fs::path root_path(root);
+  std::vector<fs::path> sources;
+  for (const std::string& dir : cfg.scan_dirs) {
+    const fs::path base = root_path / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& ent : fs::recursive_directory_iterator(base)) {
+      if (ent.is_regular_file() && is_cpp_source(ent.path())) {
+        sources.push_back(ent.path());
+      }
+    }
+  }
+  // Deterministic order regardless of directory-walk order.
+  std::sort(sources.begin(), sources.end());
+
+  std::size_t unreadable = 0;
+  for (const fs::path& p : sources) {
+    const std::string text = read_file(p, &ok);
+    if (!ok) {
+      std::cerr << "availlint: cannot read " << p << "\n";
+      ++unreadable;
+      continue;
+    }
+    engine.add_file(fs::relative(p, root_path).generic_string(), text);
+  }
+
+  const std::vector<availlint::Diagnostic> diags = engine.run();
+  for (const availlint::Diagnostic& d : diags) {
+    std::cout << d.str() << "\n";
+  }
+  if (!diags.empty()) {
+    std::cout << "availlint: " << diags.size() << " finding"
+              << (diags.size() == 1 ? "" : "s") << " in " << sources.size()
+              << " files\n";
+  }
+  return diags.empty() && unreadable == 0 ? 0 : 1;
+}
