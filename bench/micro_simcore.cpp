@@ -16,6 +16,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "availsim/fault/injector.hpp"
 #include "availsim/harness/campaign.hpp"
@@ -170,6 +171,51 @@ double event_loop_events_per_second(std::uint64_t* events_out) {
   return static_cast<double>(simulator.events_processed()) / secs;
 }
 
+// Timer-heavy scheduler stress, hand-timed: a standing population of
+// `pending_target` pending timers (far larger than any single figure's
+// working set) with a schedule/cancel/fire churn on top — the client
+// timeout pattern at scale. This is the workload the ladder queue exists
+// for: a binary heap pays O(log n) per operation against the full pending
+// population, the ladder queue pays amortized O(1).
+double timer_churn_ops_per_second(std::size_t pending_target, int rounds,
+                                  std::uint64_t* ops_out) {
+  sim::Simulator simulator;
+  sim::Rng rng(0xC0FFEE);
+  std::uint64_t sink = 0;
+  std::vector<sim::EventId> timers(pending_target, sim::kInvalidEvent);
+  const sim::Time span = 1000 * sim::kSecond;
+  std::uint64_t schedules = 0, cancels = 0;
+  harness::WallTimer timer;
+  // Build the standing population: deadlines spread over the next 1000 s.
+  for (std::size_t i = 0; i < pending_target; ++i) {
+    timers[i] = simulator.schedule_after(rng.uniform_int(1, span),
+                                         [&sink] { ++sink; });
+    ++schedules;
+  }
+  // Churn: every round cancels a slice of live timers, schedules
+  // replacements (keeping the population at pending_target), and advances
+  // the clock so a slice of the population actually fires.
+  const std::size_t slice = pending_target / 64;
+  for (int r = 0; r < rounds; ++r) {
+    for (std::size_t k = 0; k < slice; ++k) {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pending_target) - 1));
+      simulator.cancel(timers[i]);  // no-op on already-fired ids
+      ++cancels;
+      timers[i] = simulator.schedule_after(rng.uniform_int(1, span),
+                                           [&sink] { ++sink; });
+      ++schedules;
+    }
+    simulator.run_until(simulator.now() + span / 128);
+  }
+  simulator.run();
+  const double secs = timer.seconds();
+  benchmark::DoNotOptimize(sink);
+  const std::uint64_t ops = schedules + cancels + simulator.events_processed();
+  *ops_out = ops;
+  return static_cast<double>(ops) / secs;
+}
+
 struct ReplicaResult {
   double availability = 0;
   std::uint64_t events = 0;
@@ -217,11 +263,20 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
 
-  // --- hand-timed section: event loop + parallel mini campaign ---
+  // --- hand-timed section: event loop + timer churn + parallel campaign ---
   std::uint64_t loop_events = 0;
   const double loop_eps = event_loop_events_per_second(&loop_events);
   std::printf("\nevent loop: %.0f events/s (%llu events)\n", loop_eps,
               static_cast<unsigned long long>(loop_events));
+
+  const std::size_t churn_pending = 1u << 20;  // ~1M standing timers
+  const int churn_rounds = quick ? 8 : 32;
+  std::uint64_t churn_ops = 0;
+  const double churn_ops_ps =
+      timer_churn_ops_per_second(churn_pending, churn_rounds, &churn_ops);
+  std::printf("timer churn (%zu pending): %.0f ops/s (%llu ops)\n",
+              churn_pending, churn_ops_ps,
+              static_cast<unsigned long long>(churn_ops));
 
   const int replicas = quick ? 2 : 8;
   const sim::Time horizon = (quick ? 60 : 120) * sim::kSecond;
@@ -235,29 +290,47 @@ int main(int argc, char** argv) {
   auto serial = campaign(1);
   const double serial_s = serial_timer.seconds();
 
-  harness::WallTimer parallel_timer;
-  auto parallel = campaign(jobs);
-  const double parallel_s = parallel_timer.seconds();
-
-  std::uint64_t campaign_events = 0;
+  // The parallel leg only means something when more than one worker is
+  // available. With jobs == 1 it would re-run the identical serial
+  // campaign and record its timing noise as a "speedup" (old BENCH
+  // artifacts showed campaign_jobs: 1, campaign_speedup: 1.017 — a
+  // measurement of nothing). Skip it and emit null instead.
+  const bool parallel_leg = jobs > 1;
+  double parallel_s = 0.0;
   bool identical = true;
+  std::uint64_t campaign_events = 0;
   for (int i = 0; i < replicas; ++i) {
     campaign_events += serial[static_cast<std::size_t>(i)].events;
-    identical &= serial[static_cast<std::size_t>(i)].availability ==
-                     parallel[static_cast<std::size_t>(i)].availability &&
-                 serial[static_cast<std::size_t>(i)].events ==
-                     parallel[static_cast<std::size_t>(i)].events;
   }
-  std::printf(
-      "campaign (%d replicas x %.0f s sim): --jobs 1 %.2f s, --jobs %d "
-      "%.2f s (%.2fx), results %s\n",
-      replicas, sim::to_seconds(horizon), serial_s, jobs, parallel_s,
-      parallel_s > 0 ? serial_s / parallel_s : 0.0,
-      identical ? "identical" : "DIVERGENT");
+  if (parallel_leg) {
+    harness::WallTimer parallel_timer;
+    auto parallel = campaign(jobs);
+    parallel_s = parallel_timer.seconds();
+    for (int i = 0; i < replicas; ++i) {
+      identical &= serial[static_cast<std::size_t>(i)].availability ==
+                       parallel[static_cast<std::size_t>(i)].availability &&
+                   serial[static_cast<std::size_t>(i)].events ==
+                       parallel[static_cast<std::size_t>(i)].events;
+    }
+    std::printf(
+        "campaign (%d replicas x %.0f s sim): --jobs 1 %.2f s, --jobs %d "
+        "%.2f s (%.2fx), results %s\n",
+        replicas, sim::to_seconds(horizon), serial_s, jobs, parallel_s,
+        parallel_s > 0 ? serial_s / parallel_s : 0.0,
+        identical ? "identical" : "DIVERGENT");
+  } else {
+    std::printf(
+        "campaign (%d replicas x %.0f s sim): --jobs 1 %.2f s "
+        "(single worker: parallel leg skipped)\n",
+        replicas, sim::to_seconds(horizon), serial_s);
+  }
 
   harness::BenchJson bench;
   bench.add("bench", std::string("simcore"));
   bench.add("event_loop_events_per_sec", loop_eps);
+  bench.add("timer_churn_pending", static_cast<std::uint64_t>(churn_pending));
+  bench.add("timer_churn_ops", churn_ops);
+  bench.add("timer_churn_ops_per_sec", churn_ops_ps);
   bench.add("campaign_replicas", replicas);
   bench.add("campaign_sim_seconds_per_replica", sim::to_seconds(horizon));
   bench.add("campaign_events", campaign_events);
@@ -265,10 +338,15 @@ int main(int argc, char** argv) {
             serial_s > 0 ? static_cast<double>(campaign_events) / serial_s
                          : 0.0);
   bench.add("campaign_wall_seconds_jobs1", serial_s);
-  bench.add("campaign_wall_seconds_jobsN", parallel_s);
   bench.add("campaign_jobs", jobs);
-  bench.add("campaign_speedup",
-            parallel_s > 0 ? serial_s / parallel_s : 0.0);
+  if (parallel_leg) {
+    bench.add("campaign_wall_seconds_jobsN", parallel_s);
+    bench.add("campaign_speedup",
+              parallel_s > 0 ? serial_s / parallel_s : 0.0);
+  } else {
+    bench.add_null("campaign_wall_seconds_jobsN");
+    bench.add_null("campaign_speedup");
+  }
   bench.add("campaign_results_identical", std::string(identical ? "true"
                                                                 : "false"));
   const char* env_path = std::getenv("AVAILSIM_BENCH_JSON");

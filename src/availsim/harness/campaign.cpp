@@ -160,6 +160,10 @@ void BenchJson::add(const std::string& key, const std::string& value) {
   fields_.emplace_back(key, std::move(quoted));
 }
 
+void BenchJson::add_null(const std::string& key) {
+  fields_.emplace_back(key, "null");
+}
+
 std::string BenchJson::str() const {
   std::string out = "{\n";
   for (std::size_t i = 0; i < fields_.size(); ++i) {

@@ -90,6 +90,10 @@ class BenchJson {
   void add(const std::string& key, std::uint64_t value);
   void add(const std::string& key, int value);
   void add(const std::string& key, const std::string& value);
+  /// Emits `"key": null` — for metrics that were not measured in this run
+  /// (e.g. campaign speedup with --jobs 1), so consumers can tell "not
+  /// applicable" apart from a real value.
+  void add_null(const std::string& key);
   std::string str() const;
   bool write(const std::string& path) const;
 

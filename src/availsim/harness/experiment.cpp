@@ -1,6 +1,7 @@
 #include "availsim/harness/experiment.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "availsim/harness/stage_extractor.hpp"
 
@@ -180,7 +181,13 @@ double simulate_expected_load(const TestbedOptions& options, sim::Time horizon,
   injector.run_expected_load(tb.fault_load(), serialize,
                              options.warmup + horizon);
   sim.run_until(options.warmup + horizon);
-  return tb.recorder().availability(options.warmup, options.warmup + horizon);
+  const double availability =
+      tb.recorder().availability(options.warmup, options.warmup + horizon);
+  // NaN means zero requests were offered in the window — a broken workload
+  // wiring or a degenerate horizon, never a perfectly available service.
+  // Report total unavailability so the validation benches fail loudly
+  // instead of folding an empty window into a perfect score.
+  return std::isnan(availability) ? 0.0 : availability;
 }
 
 }  // namespace availsim::harness

@@ -31,7 +31,7 @@ EventId Simulator::schedule_at(Time t, EventFn fn) {
   const std::uint32_t slot = acquire_slot();
   const EventId id =
       (static_cast<EventId>(slots_[slot].generation) << 32) | slot;
-  queue_.push(Event{t, next_seq_++, slot, std::move(fn)});
+  queue_.push(QueuedEvent{t, next_seq_++, slot, std::move(fn)});
   return id;
 }
 
@@ -52,21 +52,20 @@ void Simulator::cancel(EventId id) {
 }
 
 void Simulator::purge_cancelled_head() {
-  while (!queue_.empty() && slots_[queue_.top().slot].cancelled) {
-    const std::uint32_t slot = queue_.top().slot;
-    queue_.pop();
+  while (QueuedEvent* head = queue_.head()) {
+    if (!slots_[head->slot].cancelled) break;
+    release_slot(head->slot);
+    queue_.drop_head();
     --cancelled_pending_;
-    release_slot(slot);
   }
 }
 
 bool Simulator::step() {
   purge_cancelled_head();
   if (queue_.empty()) return false;
-  // priority_queue::top returns const&; the event is moved out before pop
-  // so that events scheduled from inside `fn` are safe.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  // The event is moved out before anything else runs so that events
+  // scheduled from inside `fn` are safe.
+  QueuedEvent ev = queue_.pop_head();
   release_slot(ev.slot);
   assert(ev.t >= now_);
   now_ = ev.t;
@@ -96,7 +95,8 @@ void Simulator::run_until(Time t) {
     // Purge before the time check: a cancelled tombstone at the head must
     // not let step() run a later-than-t event (or advance the clock).
     purge_cancelled_head();
-    if (queue_.empty() || queue_.top().t > t) break;
+    const QueuedEvent* head = queue_.head();
+    if (head == nullptr || head->t > t) break;
     step();
   }
   if (now_ < t) now_ = t;

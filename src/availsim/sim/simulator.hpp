@@ -1,10 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "availsim/sim/event_fn.hpp"
+#include "availsim/sim/ladder_queue.hpp"
 #include "availsim/sim/time.hpp"
 
 namespace availsim::trace {
@@ -24,6 +24,11 @@ inline constexpr EventId kInvalidEvent = 0;
 /// All of the cluster substrate (network, disks, servers, fault injector,
 /// clients) runs on one Simulator instance. Parallel campaigns (see
 /// harness/campaign.hpp) give each replica its own private Simulator.
+///
+/// The pending-event set is a ladder queue (sim/ladder_queue.hpp) —
+/// amortised O(1) schedule/pop for the timer-dominated workload — with
+/// the exact strict (t, seq) dequeue order of the binary heap it
+/// replaced (golden traces are byte-identical; see DESIGN.md §4e).
 ///
 /// Cancellation is O(1) via slot+generation handles: cancel() flips a flag
 /// in the event's slot, the queue entry becomes a tombstone that is purged
@@ -81,18 +86,6 @@ class Simulator {
   void set_tracer(trace::Tracer* tracer);
 
  private:
-  struct Event {
-    Time t;
-    std::uint64_t seq;   // global schedule order; FIFO tie-break at same t
-    std::uint32_t slot;  // handle slot; generation lives in slots_
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
   struct Slot {
     std::uint32_t generation = 1;  // never 0, so an id is never kInvalidEvent
     bool live = false;
@@ -101,7 +94,7 @@ class Simulator {
 
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t slot);
-  /// Pops cancelled tombstones off the head so queue_.top() is live.
+  /// Pops cancelled tombstones off the head so queue_.head() is live.
   void purge_cancelled_head();
 
   Time now_ = 0;
@@ -112,7 +105,7 @@ class Simulator {
   std::uint64_t processed_ = 0;
   std::size_t cancelled_pending_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  LadderQueue queue_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace availsim::workload {
 
@@ -40,9 +41,18 @@ void Recorder::record_failure(FailureReason reason) {
 std::uint64_t Recorder::sum(const std::vector<std::uint32_t>& bins,
                             sim::Time from, sim::Time to) const {
   if (to <= from || bins.empty()) return 0;
-  const auto first = static_cast<std::size_t>(std::max<sim::Time>(0, from) / bin_width_);
-  const auto last = std::min(
-      bins.size(), static_cast<std::size_t>((to + bin_width_ - 1) / bin_width_));
+  // Only bins fully inside [from, to) count: first = ceil(from / width),
+  // last = floor(to / width). The old rounding (floor(from), ceil(to))
+  // silently over-counted both edge bins of any non-bin-aligned window by
+  // including requests that arrived outside it. Callers that need exact
+  // totals must pass bin-aligned windows (every harness window is a whole
+  // number of seconds); partially covered edge bins are excluded, never
+  // pro-rated.
+  const sim::Time lo = std::max<sim::Time>(0, from);
+  const auto first =
+      static_cast<std::size_t>((lo + bin_width_ - 1) / bin_width_);
+  const auto last =
+      std::min(bins.size(), static_cast<std::size_t>(to / bin_width_));
   std::uint64_t n = 0;
   for (std::size_t i = first; i < last; ++i) n += bins[i];
   return n;
@@ -63,7 +73,10 @@ double Recorder::mean_throughput(sim::Time from, sim::Time to) const {
 
 double Recorder::availability(sim::Time from, sim::Time to) const {
   const std::uint64_t offered = offered_in(from, to);
-  if (offered == 0) return 1.0;
+  // Zero offered requests means the window measured nothing — returning
+  // 1.0 here let an empty (misconfigured or too-short) measurement window
+  // masquerade as perfect availability. NaN forces callers to decide.
+  if (offered == 0) return std::numeric_limits<double>::quiet_NaN();
   return static_cast<double>(successes_in(from, to)) /
          static_cast<double>(offered);
 }

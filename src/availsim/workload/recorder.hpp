@@ -39,12 +39,16 @@ class Recorder {
   /// Mean successful throughput (req/s) over [from, to).
   double mean_throughput(sim::Time from, sim::Time to) const;
 
-  /// Totals over [from, to).
+  /// Totals over [from, to). Only bins fully inside the window count;
+  /// partially covered edge bins are excluded (never pro-rated or
+  /// over-counted), so pass bin-aligned windows for exact totals.
   std::uint64_t successes_in(sim::Time from, sim::Time to) const;
   std::uint64_t offered_in(sim::Time from, sim::Time to) const;
 
   /// Fraction of offered requests served successfully over [from, to) —
-  /// the paper's availability metric, measured directly.
+  /// the paper's availability metric, measured directly. NaN when the
+  /// window saw zero offered requests: an empty window measured nothing
+  /// and must not read as perfect availability.
   double availability(sim::Time from, sim::Time to) const;
 
   std::uint64_t total_offered() const { return total_offered_; }

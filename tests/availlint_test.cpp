@@ -184,6 +184,30 @@ TEST(AvailLint, UnorderedIterationOutsideOrderedDomainIsFine) {
   EXPECT_EQ(count_rule(diags, "det-unordered-iter"), 0) << dump(diags);
 }
 
+TEST(AvailLint, MultiContainerIterationFlaggedInOrderedDomain) {
+  // unordered_multimap / unordered_multiset iterate in hash order exactly
+  // like their single-key siblings and must be flagged the same way.
+  const auto diags = lint_one("src/availsim/press/index.cpp",
+                              "unordered_multi_iter_bad.cpp.fixture");
+  // Range-for over multimap member, range-for over multiset member,
+  // iterator loop, range-for over an unordered-returning accessor.
+  EXPECT_EQ(count_rule(diags, "det-unordered-iter"), 4) << dump(diags);
+  EXPECT_EQ(count_rule(diags, "det-unordered-iter",
+                       "src/availsim/press/index.cpp", 14),
+            1)
+      << dump(diags);
+  EXPECT_EQ(count_rule(diags, "det-unordered-iter",
+                       "src/availsim/press/index.cpp", 18),
+            1)
+      << dump(diags);
+}
+
+TEST(AvailLint, MultiContainerIterationOutsideOrderedDomainIsFine) {
+  const auto diags = lint_one("tools/availlint/index.cpp",
+                              "unordered_multi_iter_bad.cpp.fixture");
+  EXPECT_EQ(count_rule(diags, "det-unordered-iter"), 0) << dump(diags);
+}
+
 TEST(AvailLint, OrderedOkSuppressionHonoredButNeedsReason) {
   const auto diags = lint_one("src/availsim/press/counters.cpp",
                               "unordered_iter_suppressed.cpp.fixture");

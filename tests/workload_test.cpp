@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 #include "availsim/net/network.hpp"
@@ -75,10 +76,41 @@ TEST(Recorder, BinsAndWindows) {
   EXPECT_DOUBLE_EQ(rec.mean_throughput(0, 2 * sim::kSecond), 0.5);
 }
 
-TEST(Recorder, EmptyWindowAvailabilityIsOne) {
+TEST(Recorder, EmptyWindowAvailabilityIsNaN) {
+  // A window that saw zero offered requests measured nothing; it must not
+  // read as 100% available (the old behaviour returned 1.0).
   sim::Simulator sim;
   Recorder rec(sim);
-  EXPECT_DOUBLE_EQ(rec.availability(0, sim::kSecond), 1.0);
+  EXPECT_TRUE(std::isnan(rec.availability(0, sim::kSecond)));
+}
+
+TEST(Recorder, NonAlignedWindowExcludesEdgeBins) {
+  // Regression for the edge-bin rounding bug: sum() used to take
+  // floor(from / width) and ceil(to / width), so a non-bin-aligned window
+  // swallowed both partially covered edge bins whole. Events at 0.5 s and
+  // 1.5 s sit outside [0.7 s, 1.0 s) yet the old rounding counted both.
+  sim::Simulator sim;
+  Recorder rec(sim);
+  sim.schedule_at(500 * sim::kMillisecond, [&] {
+    rec.record_offered();
+    rec.record_success();
+  });
+  sim.schedule_at(1500 * sim::kMillisecond, [&] {
+    rec.record_offered();
+    rec.record_success();
+  });
+  sim.run();
+  // No bin lies fully inside [0.7 s, 1.0 s): nothing may be counted.
+  EXPECT_EQ(rec.successes_in(700 * sim::kMillisecond, sim::kSecond), 0u);
+  // [0.5 s, 1.5 s) fully contains no bin either — bin 0 starts before it
+  // and bin 1 ends after it.
+  EXPECT_EQ(
+      rec.offered_in(500 * sim::kMillisecond, 1500 * sim::kMillisecond), 0u);
+  // [0.5 s, 2.0 s) fully contains only bin 1 (the 1.5 s event).
+  EXPECT_EQ(
+      rec.successes_in(500 * sim::kMillisecond, 2 * sim::kSecond), 1u);
+  // Bin-aligned windows are exact, as before.
+  EXPECT_EQ(rec.successes_in(0, 2 * sim::kSecond), 2u);
 }
 
 class ClientFixture : public ::testing::Test {
